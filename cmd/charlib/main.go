@@ -1,0 +1,58 @@
+// Command charlib builds the delay/slew library of Chapter 3 by running the
+// characterization sweeps on the transient simulator and fitting the
+// polynomial surfaces, then writes it to a JSON file that cmd/cts and
+// cmd/experiments can load with -lib.
+//
+// Usage:
+//
+//	charlib -out library.json
+//	charlib -out library.json -degree 4 -report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/charlib"
+	"repro/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("charlib: ")
+
+	var (
+		out    = flag.String("out", "charlib.json", "output JSON file")
+		degree = flag.Int("degree", 3, "polynomial degree of the fits (3 or 4)")
+		step   = flag.Float64("step", 0.5, "simulation time step in ps")
+		report = flag.Bool("report", false, "print per-surface fit quality")
+	)
+	flag.Parse()
+
+	t := tech.Default()
+	lib, err := charlib.Characterize(t, charlib.Config{Degree: *degree, TimeStep: *step, KeepSamples: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := lib.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("characterized %d single-wire and %d branch component families from %d + %d simulations\n",
+		len(lib.Single), len(lib.Branches), len(lib.SinglePoints), len(lib.BranchPoints))
+	fmt.Printf("input slew range %.1f-%.1f ps, length range %.0f-%.0f um\n",
+		lib.SlewRange[0], lib.SlewRange[1], lib.LengthRange[0], lib.LengthRange[1])
+	fmt.Printf("wrote %s\n", *out)
+
+	if *report {
+		for key, f := range lib.Single {
+			fmt.Printf("  %-22s slew fit R2 %.4f (rmse %.2f ps), buffer delay R2 %.4f, wire delay R2 %.4f\n",
+				key, f.Quality["slew"].R2, f.Quality["slew"].RMSE,
+				f.Quality["buffer"].R2, f.Quality["wire"].R2)
+		}
+		for key, f := range lib.Branches {
+			fmt.Printf("  branch %-15s left delay R2 %.4f, right delay R2 %.4f\n",
+				key, f.Quality["left"].R2, f.Quality["right"].R2)
+		}
+	}
+}

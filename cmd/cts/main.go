@@ -1,0 +1,120 @@
+// Command cts synthesizes a buffered clock tree for a benchmark (a named
+// synthetic benchmark or a sink file) and reports the library-estimated and
+// simulated worst slew, skew and latency.
+//
+// Usage:
+//
+//	cts -bench r1                      # synthetic GSRC r1
+//	cts -file mysinks.txt -slew 100    # sink-list or ISPD-style file
+//	cts -bench f11 -correction full -deck tree.sp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/charlib"
+	"repro/internal/clocktree"
+	"repro/internal/core"
+	"repro/internal/spice"
+	"repro/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cts: ")
+
+	var (
+		benchName  = flag.String("bench", "r1", "synthetic benchmark name (r1..r5, f11..fnb1)")
+		file       = flag.String("file", "", "benchmark file (sink list or ISPD-style); overrides -bench")
+		maxSinks   = flag.Int("max-sinks", 0, "truncate the benchmark to at most this many sinks (0 = all)")
+		slewLimit  = flag.Float64("slew", 100, "slew limit in ps")
+		correction = flag.String("correction", "none", "H-structure handling: none, reestimate, full")
+		gridSize   = flag.Int("grid", 45, "initial routing grid resolution R")
+		analytic   = flag.Bool("analytic", false, "use the closed-form library instead of characterizing")
+		libPath    = flag.String("lib", "", "load a previously characterized library (JSON)")
+		deck       = flag.String("deck", "", "write the synthesized tree as a SPICE-style deck to this file")
+		noVerify   = flag.Bool("no-verify", false, "skip the transient verification")
+	)
+	flag.Parse()
+
+	t := tech.Default()
+
+	var bm bench.Benchmark
+	var err error
+	if *file != "" {
+		bm, err = bench.LoadFile(*file)
+	} else {
+		bm, err = bench.SyntheticScaled(*benchName, *maxSinks)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	lib, err := buildLibrary(t, *analytic, *libPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mode := core.CorrectionNone
+	switch *correction {
+	case "none":
+	case "reestimate":
+		mode = core.CorrectionReEstimate
+	case "full":
+		mode = core.CorrectionFull
+	default:
+		log.Fatalf("unknown correction mode %q", *correction)
+	}
+
+	fmt.Printf("benchmark %s: %d sinks, die %.1f x %.1f mm\n",
+		bm.Name, len(bm.Sinks), bm.Die.Width()/1000, bm.Die.Height()/1000)
+
+	res, err := core.Synthesize(t, bm.Sinks, core.Options{
+		Library:    lib,
+		SlewLimit:  *slewLimit,
+		GridSize:   *gridSize,
+		Correction: mode,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("synthesis: %d buffers (%v), %.2f mm wire, %d levels, %d flippings\n",
+		res.Stats.Buffers, res.Stats.BuffersBySize, res.Stats.TotalWire/1000, res.Levels, res.Flippings)
+	fmt.Printf("library timing: worst slew %.1f ps, skew %.1f ps, latency %.1f ps\n",
+		res.Timing.WorstSlew, res.Timing.Skew, res.Timing.MaxLatency)
+
+	if !*noVerify {
+		vr, err := res.Verify(&spice.Options{TimeStep: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("simulation:     worst slew %.1f ps, skew %.1f ps, latency %.1f ps (%d stages)\n",
+			vr.WorstSlew, vr.Skew, vr.MaxLatency, vr.Stages)
+	}
+
+	if *deck != "" {
+		net, _, err := clocktree.BuildNetlist(res.Tree, 100)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*deck, []byte(net.SpiceDeck(bm.Name)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote deck to %s\n", *deck)
+	}
+}
+
+func buildLibrary(t *tech.Technology, analytic bool, path string) (*charlib.Library, error) {
+	if path != "" {
+		return charlib.Load(path, t)
+	}
+	if analytic {
+		return charlib.NewAnalytic(t), nil
+	}
+	return charlib.Characterize(t, charlib.Config{})
+}

@@ -1,0 +1,129 @@
+// Command experiments regenerates the paper's tables and figures: Tables 5.1,
+// 5.2 and 5.3 and Figures 1.1, 3.2, 3.4 and 3.6/3.7.  Results are printed as
+// text tables; see EXPERIMENTS.md for the expected shape versus the paper's
+// published numbers.
+//
+// Usage:
+//
+//	experiments                          # everything, full-size benchmarks
+//	experiments -only table5.1           # a single experiment
+//	experiments -max-sinks 100 -analytic # quick pass with scaled benchmarks
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/charlib"
+	"repro/internal/eval"
+	"repro/internal/tech"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	var (
+		only     = flag.String("only", "", "run one experiment: table5.1, table5.2, table5.3, fig1.1, fig3.2, fig3.4, fig3.6")
+		maxSinks = flag.Int("max-sinks", 0, "truncate benchmarks to at most this many sinks (0 = full size)")
+		analytic = flag.Bool("analytic", false, "use the closed-form library instead of characterizing")
+		libPath  = flag.String("lib", "", "load a previously characterized library (JSON)")
+		simStep  = flag.Float64("sim-step", 1, "verification time step in ps")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the table's full suite)")
+	)
+	flag.Parse()
+
+	t := tech.Default()
+	cfg := eval.Config{Tech: t, MaxSinks: *maxSinks, SimStep: *simStep}
+	if *libPath != "" {
+		lib, err := charlib.Load(*libPath, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Library = lib
+	} else if *analytic {
+		cfg.Library = charlib.NewAnalytic(t)
+	} else {
+		fmt.Println("characterizing the delay/slew library (use -analytic or -lib to skip)...")
+		lib, err := charlib.Characterize(t, charlib.Config{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Library = lib
+	}
+	if *benches != "" {
+		cfg.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	run := func(name string, f func() error) {
+		if *only != "" && !strings.EqualFold(*only, name) {
+			return
+		}
+		start := time.Now()
+		if err := f(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig1.1", func() error {
+		points, err := eval.Figure11(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderFigure11(points))
+		return nil
+	})
+	run("fig3.2", func() error {
+		res, err := eval.Figure32(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		return nil
+	})
+	run("fig3.4", func() error {
+		samples, err := eval.Figure34(cfg, "BUF_X10")
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderSurface("Figure 3.4: buffer intrinsic delay vs. (input slew, wire length), BUF_X10", samples))
+		return nil
+	})
+	run("fig3.6", func() error {
+		left, right, err := eval.Figure36and37(cfg, "BUF_X30")
+		if err != nil {
+			return err
+		}
+		fmt.Print(eval.RenderSurface("Figure 3.6: left branch wire delay vs. (left, right length), BUF_X30", left))
+		fmt.Print(eval.RenderSurface("Figure 3.7: right branch wire delay vs. (left, right length), BUF_X30", right))
+		return nil
+	})
+	run("table5.1", func() error {
+		table, err := eval.Table51(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(table.Render())
+		return nil
+	})
+	run("table5.2", func() error {
+		table, err := eval.Table52(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(table.Render())
+		return nil
+	})
+	run("table5.3", func() error {
+		table, err := eval.Table53(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(table.Render())
+		return nil
+	})
+}

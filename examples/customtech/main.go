@@ -1,0 +1,64 @@
+// Custom technology: define your own wire parasitics and buffer library,
+// characterize it, and synthesize under a tighter slew limit.  This is what a
+// downstream user would do to retarget the flow to a different process or
+// metal stack.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/charlib"
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+func main() {
+	// Start from the default 45 nm-like technology and modify it: a more
+	// resistive metal layer and a two-buffer library.
+	t := tech.Default()
+	t.Name = "custom-28nm-like"
+	t.UnitRes = 0.16 // ohm/um: thinner wires
+	t.UnitCap = 0.18 // fF/um
+	t.Buffers = []tech.Buffer{
+		{Name: "CLKBUF_X8", Size: 8, InputCap: 10, DriveRes: 210, IntrinsicDelay: 11, InternalTau: 15},
+		{Name: "CLKBUF_X24", Size: 24, InputCap: 30, DriveRes: 72, IntrinsicDelay: 8, InternalTau: 11},
+	}
+	if err := t.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Characterize the custom technology (smaller sweep for this example).
+	lib, err := charlib.Characterize(t, charlib.Config{
+		InputWireLengths: []float64{1, 500, 1000},
+		WireLengths:      []float64{100, 500, 1000, 1500},
+		BranchLengths:    []float64{200, 700, 1200},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("characterized custom technology %q (%d component families)\n", t.Name, len(lib.Single))
+
+	// A ring of sinks around a hard macro, synthesized under a 70 ps limit.
+	var sinks []core.Sink
+	for i := 0; i < 12; i++ {
+		angle := 2 * math.Pi * float64(i) / 12
+		sinks = append(sinks, core.Sink{
+			Name: fmt.Sprintf("ff_%02d", i),
+			Pos:  geom.Pt(3000+2500*math.Cos(angle), 3000+2500*math.Sin(angle)),
+			Cap:  18,
+		})
+	}
+	res, err := core.Synthesize(t, sinks, core.Options{Library: lib, SlewLimit: 70})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vr, err := res.Verify(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("synthesized %d-sink tree: %d buffers, simulated worst slew %.1f ps (limit 70), skew %.1f ps\n",
+		res.Stats.Sinks, res.Stats.Buffers, vr.WorstSlew, vr.Skew)
+}

@@ -1,0 +1,50 @@
+// Quickstart: synthesize a buffered clock tree for a handful of flip-flops
+// and print its timing.  This is the smallest complete use of the public API:
+// build a technology, place sinks, synthesize, verify.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+func main() {
+	t := tech.Default()
+
+	// Eight flip-flops scattered over a 4 x 4 mm block.
+	sinks := []core.Sink{
+		{Name: "ff_a", Pos: geom.Pt(200, 300)},
+		{Name: "ff_b", Pos: geom.Pt(3800, 150)},
+		{Name: "ff_c", Pos: geom.Pt(3500, 3900)},
+		{Name: "ff_d", Pos: geom.Pt(400, 3600)},
+		{Name: "ff_e", Pos: geom.Pt(2000, 2000)},
+		{Name: "ff_f", Pos: geom.Pt(1200, 3100)},
+		{Name: "ff_g", Pos: geom.Pt(2900, 900)},
+		{Name: "ff_h", Pos: geom.Pt(600, 1800)},
+	}
+
+	// Synthesize with the default options: 100 ps slew limit, 80 ps synthesis
+	// target, analytic delay/slew library.
+	res, err := core.Synthesize(t, sinks, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("clock tree for %d sinks:\n", res.Stats.Sinks)
+	fmt.Printf("  buffers inserted: %d %v\n", res.Stats.Buffers, res.Stats.BuffersBySize)
+	fmt.Printf("  total wire:       %.2f mm\n", res.Stats.TotalWire/1000)
+	fmt.Printf("  estimated skew:   %.1f ps\n", res.Timing.Skew)
+	fmt.Printf("  estimated slew:   %.1f ps (limit %.0f ps)\n", res.Timing.WorstSlew, res.Options.SlewLimit)
+
+	// Golden check with the transient simulator (the reproduction's SPICE).
+	vr, err := res.Verify(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  simulated skew:   %.1f ps, worst slew %.1f ps, latency %.1f ps\n",
+		vr.Skew, vr.WorstSlew, vr.MaxLatency)
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestSyntheticMatchesPublishedCounts(t *testing.T) {
+	want := map[string]int{
+		"r1": 267, "r2": 598, "r3": 862, "r4": 1903, "r5": 3101,
+		"f11": 121, "f12": 117, "f21": 117, "f22": 91, "f31": 273, "f32": 190, "fnb1": 330,
+	}
+	for name, count := range want {
+		b, err := Synthetic(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(b.Sinks) != count {
+			t.Errorf("%s: %d sinks, want %d", name, len(b.Sinks), count)
+		}
+		for _, s := range b.Sinks {
+			if !b.Die.Expand(1).Contains(s.Pos) {
+				t.Errorf("%s: sink %s at %v outside the die %v", name, s.Name, s.Pos, b.Die)
+			}
+			if s.Cap <= 0 {
+				t.Errorf("%s: sink %s has non-positive cap", name, s.Name)
+			}
+		}
+	}
+	if _, err := Synthetic("bogus"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+}
+
+func TestSyntheticIsDeterministic(t *testing.T) {
+	a, _ := Synthetic("r1")
+	b, _ := Synthetic("r1")
+	for i := range a.Sinks {
+		if a.Sinks[i] != b.Sinks[i] {
+			t.Fatalf("sink %d differs between runs", i)
+		}
+	}
+}
+
+func TestSyntheticScaled(t *testing.T) {
+	b, err := SyntheticScaled("r3", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sinks) != 50 {
+		t.Errorf("scaled sinks = %d, want 50", len(b.Sinks))
+	}
+	full, err := SyntheticScaled("r1", 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Sinks) != 267 {
+		t.Errorf("oversized request should return the full benchmark, got %d", len(full.Sinks))
+	}
+	if _, err := SyntheticScaled("bogus", 10); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if len(GSRCNames()) != 5 || len(ISPDNames()) != 7 || len(AllNames()) != 12 {
+		t.Errorf("name lists wrong: %v %v", GSRCNames(), ISPDNames())
+	}
+}
+
+func TestParseSinkListRoundTrip(t *testing.T) {
+	b, _ := SyntheticScaled("f22", 20)
+	var buf bytes.Buffer
+	if err := WriteSinkList(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseSinkList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Sinks) != len(b.Sinks) {
+		t.Fatalf("round trip lost sinks: %d vs %d", len(parsed.Sinks), len(b.Sinks))
+	}
+	for i := range b.Sinks {
+		if parsed.Sinks[i].Name != b.Sinks[i].Name {
+			t.Errorf("sink %d name mismatch", i)
+		}
+		if parsed.Sinks[i].Pos.Manhattan(b.Sinks[i].Pos) > 0.01 {
+			t.Errorf("sink %d moved", i)
+		}
+	}
+}
+
+func TestParseSinkListErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"# only comments\n",
+		"a 1\n",
+		"a x 2\n",
+		"a 1 y\n",
+		"a 1 2 z\n",
+	}
+	for _, c := range cases {
+		if _, err := ParseSinkList(strings.NewReader(c)); err == nil {
+			t.Errorf("input %q: expected error", c)
+		}
+	}
+	ok, err := ParseSinkList(strings.NewReader("ff1 100 200\nff2 300 400 25\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ok.Sinks) != 2 || ok.Sinks[1].Cap != 25 {
+		t.Errorf("parsed %+v", ok.Sinks)
+	}
+}
+
+func TestParseISPD(t *testing.T) {
+	input := `# ispd09 style
+num sink 3
+1 1000000 2000000 3.5e-14
+2 1500000 2500000 4.0e-14
+3 500000  800000  2.0e-14
+num wirelib 1
+`
+	b, err := ParseISPD(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Sinks) != 3 {
+		t.Fatalf("sinks = %d, want 3", len(b.Sinks))
+	}
+	// nm -> um conversion and F -> fF conversion.
+	if b.Sinks[0].Pos.X != 1000 || b.Sinks[0].Pos.Y != 2000 {
+		t.Errorf("coordinate conversion wrong: %v", b.Sinks[0].Pos)
+	}
+	if b.Sinks[0].Cap < 34 || b.Sinks[0].Cap > 36 {
+		t.Errorf("capacitance conversion wrong: %v", b.Sinks[0].Cap)
+	}
+	if _, err := ParseISPD(strings.NewReader("num sink 1\nbroken line\n")); err == nil {
+		t.Error("expected error for malformed sink line")
+	}
+	if _, err := ParseISPD(strings.NewReader("nothing here\n")); err == nil {
+		t.Error("expected error for file without sinks")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	sinklist := dir + "/a.sinks"
+	ispd := dir + "/b.ispd"
+	writeFile(t, sinklist, "ff1 10 20 15\nff2 30 40 18\n")
+	writeFile(t, ispd, "num sink 1\n1 100 200 30\n")
+	a, err := LoadFile(sinklist)
+	if err != nil || len(a.Sinks) != 2 {
+		t.Fatalf("sink list load: %v %d", err, len(a.Sinks))
+	}
+	b, err := LoadFile(ispd)
+	if err != nil || len(b.Sinks) != 1 {
+		t.Fatalf("ispd load: %v %d", err, len(b.Sinks))
+	}
+	if _, err := LoadFile(dir + "/missing"); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := writeAll(path, content); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeAll(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,269 @@
+package charlib
+
+import (
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/spice"
+	"repro/internal/tech"
+)
+
+// testConfig keeps the characterization sweeps small so the test suite stays
+// fast while still exercising every code path.
+func testConfig() Config {
+	return Config{
+		InputWireLengths: []float64{1, 600, 1200},
+		WireLengths:      []float64{100, 700, 1400, 2000},
+		BranchLengths:    []float64{200, 800, 1400},
+		Degree:           3,
+		TimeStep:         1.0,
+		KeepSamples:      true,
+	}
+}
+
+// sharedLib caches the characterized library across tests in this package.
+var sharedLib *Library
+
+func characterized(t *testing.T) *Library {
+	t.Helper()
+	if sharedLib != nil {
+		return sharedLib
+	}
+	lib, err := Characterize(tech.Default(), testConfig())
+	if err != nil {
+		t.Fatalf("Characterize: %v", err)
+	}
+	sharedLib = lib
+	return lib
+}
+
+func TestAnalyticLibraryBasicShape(t *testing.T) {
+	tt := tech.Default()
+	lib := NewAnalytic(tt)
+	buf := tt.Buffers[2]
+	short := lib.SingleWire(buf, 24, 60, 300)
+	long := lib.SingleWire(buf, 24, 60, 2500)
+	if short.OutputSlew >= long.OutputSlew {
+		t.Errorf("slew must grow with length: %v >= %v", short.OutputSlew, long.OutputSlew)
+	}
+	if short.WireDelay >= long.WireDelay {
+		t.Errorf("wire delay must grow with length: %v >= %v", short.WireDelay, long.WireDelay)
+	}
+	if short.BufferDelay <= 0 || long.Total() <= 0 {
+		t.Error("delays must be positive")
+	}
+	// A bigger buffer gives smaller output slew on the same wire.
+	small := lib.SingleWire(tt.Buffers[0], 24, 60, 1500)
+	big := lib.SingleWire(tt.Buffers[2], 24, 60, 1500)
+	if big.OutputSlew >= small.OutputSlew {
+		t.Errorf("larger buffer should improve slew: %v >= %v", big.OutputSlew, small.OutputSlew)
+	}
+}
+
+func TestAnalyticBranchSymmetry(t *testing.T) {
+	tt := tech.Default()
+	lib := NewAnalytic(tt)
+	buf := tt.Buffers[1]
+	bt := lib.Branch(buf, 60, 900, 900, 24, 24)
+	if math.Abs(bt.LeftDelay-bt.RightDelay) > 1e-9 {
+		t.Errorf("symmetric branch delays differ: %v vs %v", bt.LeftDelay, bt.RightDelay)
+	}
+	if math.Abs(bt.LeftSlew-bt.RightSlew) > 1e-9 {
+		t.Errorf("symmetric branch slews differ: %v vs %v", bt.LeftSlew, bt.RightSlew)
+	}
+	asym := lib.Branch(buf, 60, 400, 1400, 24, 24)
+	if asym.LeftDelay >= asym.RightDelay {
+		t.Errorf("short branch should be faster: %v >= %v", asym.LeftDelay, asym.RightDelay)
+	}
+	if asym.LeftSlew >= asym.RightSlew {
+		t.Errorf("short branch should have better slew: %v >= %v", asym.LeftSlew, asym.RightSlew)
+	}
+}
+
+func TestMaxWireLengthRespectsLimit(t *testing.T) {
+	tt := tech.Default()
+	lib := NewAnalytic(tt)
+	for _, buf := range tt.Buffers {
+		maxLen := lib.MaxWireLength(buf, 24, 80, 80)
+		if maxLen <= 0 {
+			t.Fatalf("%s: expected positive max length", buf.Name)
+		}
+		atLimit := lib.SingleWire(buf, 24, 80, maxLen).OutputSlew
+		beyond := lib.SingleWire(buf, 24, 80, maxLen*1.3).OutputSlew
+		if atLimit > 80+1 {
+			t.Errorf("%s: slew at reported max length = %v, want <= limit", buf.Name, atLimit)
+		}
+		if beyond <= 80 {
+			t.Errorf("%s: slew beyond max length = %v, expected violation", buf.Name, beyond)
+		}
+	}
+	// Larger buffers reach farther.
+	if lib.MaxWireLength(tt.Buffers[2], 24, 80, 80) <= lib.MaxWireLength(tt.Buffers[0], 24, 80, 80) {
+		t.Error("larger buffer should drive a longer wire under the same limit")
+	}
+}
+
+func TestBestBufferForPicksTightestFit(t *testing.T) {
+	tt := tech.Default()
+	lib := NewAnalytic(tt)
+	// Short wire: every buffer meets the limit; the chosen one must still meet
+	// it and have the least slack (per the intelligent sizing rule).
+	b, ok := lib.BestBufferFor(24, 60, 200, 100)
+	if !ok {
+		t.Fatal("expected a feasible buffer for a short wire")
+	}
+	chosen := lib.SingleWire(b, 24, 60, 200).OutputSlew
+	for _, other := range tt.Buffers {
+		s := lib.SingleWire(other, 24, 60, 200).OutputSlew
+		if s <= 100 && s > chosen+1e-9 {
+			t.Errorf("buffer %s has slew %v closer to the limit than chosen %s (%v)", other.Name, s, b.Name, chosen)
+		}
+	}
+	// Impossible wire: nothing fits.
+	if _, ok := lib.BestBufferFor(24, 60, 5500, 30); ok {
+		t.Error("expected no feasible buffer for an extreme wire")
+	}
+}
+
+func TestCharacterizedLibraryAgainstSimulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization sweep skipped in -short mode")
+	}
+	tt := tech.Default()
+	lib := characterized(t)
+
+	if len(lib.Single) != len(tt.Buffers)*len(tt.Buffers) {
+		t.Fatalf("expected %d single-wire fits, got %d", len(tt.Buffers)*len(tt.Buffers), len(lib.Single))
+	}
+	if len(lib.Branches) != len(tt.Buffers) {
+		t.Fatalf("expected %d branch fits, got %d", len(tt.Buffers), len(lib.Branches))
+	}
+	if len(lib.SinglePoints) == 0 || len(lib.BranchPoints) == 0 {
+		t.Fatal("expected raw samples to be kept")
+	}
+
+	// Fit quality: the polynomial library must reproduce its own samples well
+	// (this is the "matches SPICE closely" claim of the contribution list).
+	for k, f := range lib.Single {
+		if q := f.Quality["slew"]; q.R2 < 0.98 {
+			t.Errorf("%s: slew fit R2 = %v, want >= 0.98", k, q.R2)
+		}
+		if q := f.Quality["buffer"]; q.R2 < 0.9 {
+			t.Errorf("%s: buffer delay fit R2 = %v, want >= 0.9", k, q.R2)
+		}
+	}
+
+	// Cross-check a lookup against a direct simulation at an off-grid point.
+	drive := tt.Buffers[1]
+	load := tt.Buffers[1]
+	length := 1000.0
+	net := circuit.New()
+	src := net.AddSource("clk", tt.SourceDriveRes)
+	shaperOut := net.AddBuffer("bin", tt.Buffers[1], src)
+	driveIn := net.AddWire(tt, shaperOut, 400, 100)
+	driveOut := net.AddBuffer("bdrive", drive, driveIn)
+	end := net.AddWire(tt, driveOut, length, 100)
+	net.AddBuffer("bload", load, end)
+	res, err := spice.Simulate(net, tt, spice.Options{TimeStep: 1.0, SourceSlew: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inSlew, _ := res.SlewAt(driveIn)
+	dIn, _ := res.DelayTo(driveIn)
+	dEnd, _ := res.DelayTo(end)
+	simTotal := dEnd - dIn
+	simSlew, _ := res.SlewAt(end)
+
+	got := lib.SingleWire(drive, load.InputCap, inSlew, length)
+	if rel := math.Abs(got.Total()-simTotal) / simTotal; rel > 0.10 {
+		t.Errorf("library total delay %v vs simulated %v (rel err %.1f%%), want within 10%%",
+			got.Total(), simTotal, rel*100)
+	}
+	if rel := math.Abs(got.OutputSlew-simSlew) / simSlew; rel > 0.10 {
+		t.Errorf("library slew %v vs simulated %v (rel err %.1f%%), want within 10%%",
+			got.OutputSlew, simSlew, rel*100)
+	}
+}
+
+func TestCharacterizedLibraryMoreAccurateThanClosedForm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization sweep skipped in -short mode")
+	}
+	// Section 3.1's argument: the characterized library tracks simulation more
+	// closely than the closed-form (moment-based) models.
+	tt := tech.Default()
+	lib := characterized(t)
+	analytic := NewAnalytic(tt)
+
+	var worseCount, total int
+	for _, pt := range lib.SinglePoints {
+		if pt.Drive != "BUF_X20" || pt.Load != "BUF_X20" {
+			continue
+		}
+		drive, _ := tt.BufferByName(pt.Drive)
+		load, _ := tt.BufferByName(pt.Load)
+		libT := lib.SingleWire(drive, load.InputCap, pt.InputSlew, pt.Length)
+		anaT := analytic.SingleWire(drive, load.InputCap, pt.InputSlew, pt.Length)
+		simTotal := pt.BufferDelay + pt.WireDelay
+		libErr := math.Abs(libT.Total() - simTotal)
+		anaErr := math.Abs(anaT.Total() - simTotal)
+		total++
+		if libErr > anaErr {
+			worseCount++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no samples for the comparison")
+	}
+	if worseCount*2 > total {
+		t.Errorf("characterized library was less accurate than closed form on %d of %d samples", worseCount, total)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("characterization sweep skipped in -short mode")
+	}
+	tt := tech.Default()
+	lib := characterized(t)
+	path := filepath.Join(t.TempDir(), "lib.json")
+	if err := lib.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drive := tt.Buffers[0]
+	a := lib.SingleWire(drive, 24, 70, 900)
+	b := loaded.SingleWire(drive, 24, 70, 900)
+	if math.Abs(a.Total()-b.Total()) > 1e-9 || math.Abs(a.OutputSlew-b.OutputSlew) > 1e-9 {
+		t.Errorf("loaded library disagrees with original: %+v vs %+v", a, b)
+	}
+	// Loading against a different technology name must fail.
+	other := tech.Default()
+	other.Name = "other"
+	if _, err := Load(path, other); err == nil {
+		t.Error("expected technology mismatch error")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json"), tt); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestLookupClampsOutOfRange(t *testing.T) {
+	tt := tech.Default()
+	lib := NewAnalytic(tt)
+	buf := tt.Buffers[0]
+	// Extreme arguments must still return finite, positive timing.
+	for _, tc := range []struct{ slew, length float64 }{
+		{-50, 100}, {1e6, 100}, {60, -10}, {60, 1e7},
+	} {
+		got := lib.SingleWire(buf, 24, tc.slew, tc.length)
+		if math.IsNaN(got.Total()) || math.IsInf(got.Total(), 0) || got.OutputSlew <= 0 {
+			t.Errorf("slew=%v len=%v: bad timing %+v", tc.slew, tc.length, got)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package dme
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/clocktree"
+	"repro/internal/geom"
+	"repro/internal/spice"
+	"repro/internal/tech"
+)
+
+func randomSinks(seed int64, n int, span float64) []Sink {
+	rng := rand.New(rand.NewSource(seed))
+	sinks := make([]Sink, n)
+	for i := range sinks {
+		sinks[i] = Sink{
+			Name: "s" + string(rune('a'+i%26)) + string(rune('0'+i/26%10)) + string(rune('0'+i/260)),
+			Pos:  geom.Pt(rng.Float64()*span, rng.Float64()*span),
+			Cap:  20,
+		}
+	}
+	return sinks
+}
+
+func TestSolveBalancesElmoreDelays(t *testing.T) {
+	tt := tech.Default()
+	f := func(d1, d2 uint8, c1x, c2x uint8, l16 uint16) bool {
+		t1, t2 := float64(d1), float64(d2)
+		c1, c2 := 10+float64(c1x), 10+float64(c2x)
+		l := 100 + float64(l16%4000)
+		sp := Solve(tt, t1, t2, c1, c2, l)
+		left := t1 + elmoreWire(tt, sp.L1, c1)
+		right := t2 + elmoreWire(tt, sp.L2, c2)
+		return math.Abs(left-right) < 1e-6*(1+left+right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveSplitsGeometry(t *testing.T) {
+	tt := tech.Default()
+	// Equal sub-trees: the merge point is the midpoint.
+	sp := Solve(tt, 0, 0, 20, 20, 1000)
+	if math.Abs(sp.X-0.5) > 1e-9 || sp.Snaked {
+		t.Errorf("equal sub-trees: X = %v, snaked = %v", sp.X, sp.Snaked)
+	}
+	// A much slower first sub-tree pulls the merge point towards itself.
+	sp = Solve(tt, 50, 0, 20, 20, 1000)
+	if sp.X >= 0.5 {
+		t.Errorf("slow first sub-tree should get X < 0.5, got %v", sp.X)
+	}
+	// An extreme imbalance requires snaking and keeps delays balanced.
+	sp = Solve(tt, 500, 0, 20, 20, 200)
+	if !sp.Snaked {
+		t.Fatal("expected snaking for an extreme imbalance")
+	}
+	left := 500 + elmoreWire(tt, sp.L1, 20)
+	right := 0 + elmoreWire(tt, sp.L2, 20)
+	if math.Abs(left-right) > 1e-6 {
+		t.Errorf("snaked split unbalanced: %v vs %v", left, right)
+	}
+	if sp.L2 < 200 {
+		t.Errorf("snaked wire %v should be at least the straight distance", sp.L2)
+	}
+	// Co-located roots.
+	sp = Solve(tt, 10, 10, 20, 20, 0)
+	if sp.L1 != 0 || sp.L2 != 0 {
+		t.Errorf("co-located equal roots need no wire, got %+v", sp)
+	}
+}
+
+func TestUnbufferedDMEAchievesZeroElmoreSkew(t *testing.T) {
+	tt := tech.Default()
+	for _, n := range []int{2, 5, 16, 33, 80} {
+		sinks := randomSinks(int64(n), n, 4000)
+		tree, err := Synthesize(tt, sinks, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got := len(clocktree.Sinks(tree.Root)); got != n {
+			t.Fatalf("n=%d: tree has %d sinks", n, got)
+		}
+		skew := ElmoreSkew(tt, tree)
+		if skew > 0.01 {
+			t.Errorf("n=%d: Elmore skew = %v ps, want ~0", n, skew)
+		}
+	}
+}
+
+func TestBufferedBaselineInsertsOnlyAtMergeNodes(t *testing.T) {
+	tt := tech.Default()
+	sinks := randomSinks(7, 32, 12000)
+	tree, err := Synthesize(tt, sinks, Options{SlewLimit: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := tree.Stats()
+	if stats.Buffers == 0 {
+		t.Fatal("expected the wide-die baseline to insert buffers")
+	}
+	for _, n := range tree.Nodes() {
+		if n.Buffer != nil && n.Kind != clocktree.KindMerge {
+			t.Errorf("buffer found on a %v node; the baseline must only buffer merge nodes", n.Kind)
+		}
+	}
+}
+
+func TestBufferedBaselineViolatesSlewOnLargeDie(t *testing.T) {
+	// The paper's core argument (Figure 1.1 / Section 1): with buffers
+	// restricted to merge nodes, long wire spans between merge points cannot
+	// satisfy a tight slew limit on a large die.
+	tt := tech.Default()
+	sinks := randomSinks(11, 24, 16000)
+	tree, err := Synthesize(tt, sinks, Options{SlewLimit: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr, err := clocktree.Verify(tree, spice.Options{TimeStep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vr.WorstSlew <= 100 {
+		t.Errorf("restricted baseline worst slew = %v ps on a 16 mm die; expected a violation of the 100 ps limit", vr.WorstSlew)
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	tt := tech.Default()
+	if _, err := Synthesize(tt, nil, Options{}); err == nil {
+		t.Error("expected error for empty sink list")
+	}
+	bad := []Sink{{Name: "x", Pos: geom.Pt(0, 0), Cap: 0}}
+	if _, err := Synthesize(tt, bad, Options{}); err == nil {
+		t.Error("expected error for zero-capacitance sink")
+	}
+	if _, err := Synthesize(tt, randomSinks(1, 4, 100), Options{SlewLimit: 80, Buffer: "nope"}); err == nil {
+		t.Error("expected error for unknown buffer name")
+	}
+}
+
+func TestSourcePositionOption(t *testing.T) {
+	tt := tech.Default()
+	src := geom.Pt(0, 0)
+	tree, err := Synthesize(tt, randomSinks(3, 9, 3000), Options{SourcePos: &src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Root.Pos != src {
+		t.Errorf("source placed at %v, want %v", tree.Root.Pos, src)
+	}
+}
+
+func TestSingleSink(t *testing.T) {
+	tt := tech.Default()
+	tree, err := Synthesize(tt, []Sink{{Name: "only", Pos: geom.Pt(100, 100), Cap: 15}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clocktree.Sinks(tree.Root)) != 1 {
+		t.Fatal("single-sink tree malformed")
+	}
+}

@@ -1,0 +1,159 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/tech"
+)
+
+// smallConfig keeps the experiments small enough for the test suite: scaled
+// benchmarks and the fast analytic library.
+func smallConfig() Config {
+	tt := tech.Default()
+	return Config{
+		Tech:     tt,
+		Library:  charlib.NewAnalytic(tt),
+		MaxSinks: 24,
+		SimStep:  2,
+	}
+}
+
+func TestTable51ShapeHolds(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Benchmarks = []string{"r1", "r2"}
+	table, err := Table51(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(table.Rows))
+	}
+	for _, r := range table.Rows {
+		// The headline result: the aggressive-insertion flow honours the slew
+		// limit while keeping skew a small fraction of the latency.
+		if r.WorstSlew > 100 {
+			t.Errorf("%s: worst slew %v ps exceeds the 100 ps limit", r.Name, r.WorstSlew)
+		}
+		if r.Skew <= 0 || r.Skew > 0.4*r.MaxLatency {
+			t.Errorf("%s: skew %v ps implausible against latency %v ps", r.Name, r.Skew, r.MaxLatency)
+		}
+		if r.Buffers == 0 {
+			t.Errorf("%s: no buffers inserted", r.Name)
+		}
+	}
+	text := table.Render()
+	if !strings.Contains(text, "Table 5.1") || !strings.Contains(text, "r1") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestTable52RunsOnScaledISPD(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Benchmarks = []string{"f22"}
+	table, err := Table52(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 || table.Rows[0].Name != "f22(24)" && table.Rows[0].Name != "f22" {
+		t.Fatalf("unexpected rows: %+v", table.Rows)
+	}
+	if table.Rows[0].WorstSlew > 100 {
+		t.Errorf("worst slew %v exceeds limit", table.Rows[0].WorstSlew)
+	}
+}
+
+func TestTable53ReportsRatios(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxSinks = 16
+	cfg.Benchmarks = []string{"f22"}
+	table, err := Table53(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 {
+		t.Fatalf("rows = %d", len(table.Rows))
+	}
+	r := table.Rows[0]
+	if r.OriginalSkew <= 0 || r.ReEstimateSkew <= 0 || r.CorrectionSkew <= 0 {
+		t.Errorf("skews must be positive: %+v", r)
+	}
+	if r.Flippings < 0 {
+		t.Errorf("negative flippings")
+	}
+	text := table.Render()
+	if !strings.Contains(text, "Table 5.3") || !strings.Contains(text, "average ratios") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFigure11SlewGrowsAndUpsizingInsufficient(t *testing.T) {
+	points, err := Figure11(Config{}, []float64{500, 2000, 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if !(points[0].Slew20X < points[1].Slew20X && points[1].Slew20X < points[2].Slew20X) {
+		t.Error("20X slew must grow with length")
+	}
+	// At 4 mm both sizes violate the 100 ps limit: upsizing is not a fix.
+	if points[2].Slew30X < 100 {
+		t.Errorf("30X slew at 4 mm = %v ps, expected a violation", points[2].Slew30X)
+	}
+	if points[2].Slew30X >= points[2].Slew20X {
+		t.Error("larger buffer should still be somewhat better")
+	}
+	if !strings.Contains(RenderFigure11(points), "Figure 1.1") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFigure32ShiftMeasurable(t *testing.T) {
+	res, err := Figure32(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutputShift < 5 {
+		t.Errorf("output shift = %v ps, expected a clearly visible shift", res.OutputShift)
+	}
+	if res.DelayError <= 0 {
+		t.Errorf("delay error = %v, expected a positive ramp-approximation error", res.DelayError)
+	}
+	if !strings.Contains(res.Render(), "Figure 3.2") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFigure34And36Surfaces(t *testing.T) {
+	cfg := smallConfig()
+	samples, err := Figure34(cfg, "BUF_X10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 25 {
+		t.Fatalf("figure 3.4 samples = %d, want 25", len(samples))
+	}
+	// Buffer delay must increase with input slew at a fixed length.
+	first, last := samples[0], samples[len(samples)-1]
+	if !(last.InputSlew > first.InputSlew && last.Value > first.Value) {
+		t.Errorf("intrinsic delay should grow with input slew: %+v vs %+v", first, last)
+	}
+
+	left, right, err := Figure36and37(cfg, "BUF_X30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 16 || len(right) != 16 {
+		t.Fatalf("branch surfaces: %d, %d", len(left), len(right))
+	}
+	// The left-branch delay grows with the left length (first index).
+	if !(left[len(left)-1].Value > left[0].Value) {
+		t.Error("left branch delay should grow with branch length")
+	}
+	if !strings.Contains(RenderSurface("Figure 3.6", left), "Figure 3.6") {
+		t.Error("rendering incomplete")
+	}
+}

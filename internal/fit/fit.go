@@ -1,0 +1,225 @@
+// Package fit provides the least-squares polynomial fitting used to build the
+// delay/slew library of Chapter 3: surface fitting (two independent
+// variables, e.g. input slew and wire length) and hyperplane fitting (three
+// independent variables, e.g. input slew and the two branch lengths), with
+// 3rd- or 4th-order polynomial bases as in the paper.  Inputs are normalized
+// internally so that high-order terms stay well conditioned even when the
+// variables span very different ranges (tens of picoseconds vs. thousands of
+// micrometres).
+package fit
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/linalg"
+)
+
+// Poly is a fitted polynomial in one, two or three variables.
+type Poly struct {
+	// Vars is the number of independent variables (1, 2 or 3).
+	Vars int
+	// Degree is the maximum total degree of any term.
+	Degree int
+	// Coef holds one coefficient per basis term, in the order produced by
+	// exponents(Vars, Degree).
+	Coef []float64
+	// Offset and Scale normalize each input: xn = (x - Offset) / Scale.
+	Offset []float64
+	// Scale is the normalization divisor per variable (never zero).
+	Scale []float64
+}
+
+// exponentCache memoizes the basis enumeration: Eval sits on the hot path of
+// the maze router, which performs millions of library lookups per benchmark.
+var exponentCache sync.Map // map[[2]int][][]int
+
+// exponents enumerates all exponent tuples of total degree <= degree over the
+// given number of variables, in a deterministic order.
+func exponents(vars, degree int) [][]int {
+	cacheKey := [2]int{vars, degree}
+	if cached, ok := exponentCache.Load(cacheKey); ok {
+		return cached.([][]int)
+	}
+	var out [][]int
+	switch vars {
+	case 1:
+		for i := 0; i <= degree; i++ {
+			out = append(out, []int{i})
+		}
+	case 2:
+		for i := 0; i <= degree; i++ {
+			for j := 0; j+i <= degree; j++ {
+				out = append(out, []int{i, j})
+			}
+		}
+	case 3:
+		for i := 0; i <= degree; i++ {
+			for j := 0; j+i <= degree; j++ {
+				for k := 0; k+j+i <= degree; k++ {
+					out = append(out, []int{i, j, k})
+				}
+			}
+		}
+	}
+	exponentCache.Store(cacheKey, out)
+	return out
+}
+
+// Fit fits a polynomial of the given total degree to the samples.  Each row
+// of xs is one sample's independent variables (all rows must have the same
+// length, 1 to 3 variables); ys are the observed values.
+func Fit(xs [][]float64, ys []float64, degree int) (*Poly, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("fit: no samples")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("fit: %d samples but %d observations", len(xs), len(ys))
+	}
+	vars := len(xs[0])
+	if vars < 1 || vars > 3 {
+		return nil, fmt.Errorf("fit: unsupported number of variables %d", vars)
+	}
+	if degree < 1 || degree > 6 {
+		return nil, fmt.Errorf("fit: unsupported degree %d", degree)
+	}
+	for i, row := range xs {
+		if len(row) != vars {
+			return nil, fmt.Errorf("fit: sample %d has %d variables, want %d", i, len(row), vars)
+		}
+	}
+
+	// Normalize each variable to roughly [0, 1].
+	offset := make([]float64, vars)
+	scale := make([]float64, vars)
+	for v := 0; v < vars; v++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, row := range xs {
+			lo = math.Min(lo, row[v])
+			hi = math.Max(hi, row[v])
+		}
+		offset[v] = lo
+		scale[v] = hi - lo
+		if scale[v] == 0 {
+			scale[v] = 1
+		}
+	}
+
+	exps := exponents(vars, degree)
+	if len(xs) < len(exps) {
+		return nil, fmt.Errorf("fit: %d samples cannot determine %d coefficients (degree %d, %d vars)",
+			len(xs), len(exps), degree, vars)
+	}
+	a := linalg.NewMatrix(len(xs), len(exps))
+	for i, row := range xs {
+		for j, e := range exps {
+			term := 1.0
+			for v := 0; v < vars; v++ {
+				xn := (row[v] - offset[v]) / scale[v]
+				term *= math.Pow(xn, float64(e[v]))
+			}
+			a.Set(i, j, term)
+		}
+	}
+	coef, err := linalg.LeastSquares(a, ys)
+	if err != nil {
+		return nil, fmt.Errorf("fit: %w", err)
+	}
+	return &Poly{Vars: vars, Degree: degree, Coef: coef, Offset: offset, Scale: scale}, nil
+}
+
+// Eval evaluates the polynomial at the given point.  The number of arguments
+// must equal Vars.
+func (p *Poly) Eval(x ...float64) float64 {
+	if len(x) != p.Vars {
+		panic(fmt.Sprintf("fit: Eval with %d arguments on a %d-variable polynomial", len(x), p.Vars))
+	}
+	exps := exponents(p.Vars, p.Degree)
+	// Precompute the powers of each normalized variable up to the degree.
+	var powers [3][7]float64
+	for v := 0; v < p.Vars; v++ {
+		xn := (x[v] - p.Offset[v]) / p.Scale[v]
+		powers[v][0] = 1
+		for d := 1; d <= p.Degree; d++ {
+			powers[v][d] = powers[v][d-1] * xn
+		}
+	}
+	var sum float64
+	for j, e := range exps {
+		term := p.Coef[j]
+		for v := 0; v < p.Vars; v++ {
+			term *= powers[v][e[v]]
+		}
+		sum += term
+	}
+	return sum
+}
+
+// Quality summarizes how well a fitted polynomial reproduces its samples.
+type Quality struct {
+	// RMSE is the root-mean-square error in the units of the observations.
+	RMSE float64
+	// MaxAbs is the largest absolute error.
+	MaxAbs float64
+	// R2 is the coefficient of determination (1 = perfect fit).
+	R2 float64
+}
+
+// Assess evaluates the fit against the given samples.
+func (p *Poly) Assess(xs [][]float64, ys []float64) Quality {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return Quality{}
+	}
+	var mean float64
+	for _, y := range ys {
+		mean += y
+	}
+	mean /= float64(len(ys))
+	var sse, sst, maxAbs float64
+	for i, row := range xs {
+		err := p.Eval(row...) - ys[i]
+		sse += err * err
+		sst += (ys[i] - mean) * (ys[i] - mean)
+		if a := math.Abs(err); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	q := Quality{
+		RMSE:   math.Sqrt(sse / float64(len(ys))),
+		MaxAbs: maxAbs,
+	}
+	if sst > 0 {
+		q.R2 = 1 - sse/sst
+	} else if sse == 0 {
+		q.R2 = 1
+	}
+	return q
+}
+
+// FitSurface is a convenience wrapper for the two-variable case used by the
+// single-wire library components: z = f(x, y).
+func FitSurface(x, y, z []float64, degree int) (*Poly, error) {
+	if len(x) != len(y) || len(x) != len(z) {
+		return nil, errors.New("fit: surface sample slices must have equal length")
+	}
+	xs := make([][]float64, len(x))
+	for i := range x {
+		xs[i] = []float64{x[i], y[i]}
+	}
+	return Fit(xs, z, degree)
+}
+
+// FitHyper is a convenience wrapper for the three-variable case used by the
+// branch library components: v = f(x, y, z).
+func FitHyper(x, y, z, v []float64, degree int) (*Poly, error) {
+	if len(x) != len(y) || len(x) != len(z) || len(x) != len(v) {
+		return nil, errors.New("fit: hyperplane sample slices must have equal length")
+	}
+	xs := make([][]float64, len(x))
+	for i := range x {
+		xs[i] = []float64{x[i], y[i], z[i]}
+	}
+	return Fit(xs, v, degree)
+}

@@ -1,0 +1,192 @@
+package fit
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitRecoversQuadraticSurface(t *testing.T) {
+	f := func(x, y float64) float64 { return 3 + 0.5*x - 0.2*y + 0.01*x*y + 0.003*x*x }
+	var xs, ys, zs []float64
+	for x := 10.0; x <= 200; x += 20 {
+		for y := 100.0; y <= 3000; y += 300 {
+			xs = append(xs, x)
+			ys = append(ys, y)
+			zs = append(zs, f(x, y))
+		}
+	}
+	p, err := FitSurface(xs, ys, zs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Assess(samples2(xs, ys), zs)
+	if q.R2 < 0.99999 {
+		t.Errorf("R2 = %v, want ~1", q.R2)
+	}
+	// Interpolation at an unseen point.
+	if got, want := p.Eval(55, 1234), f(55, 1234); math.Abs(got-want) > 1e-3*math.Abs(want) {
+		t.Errorf("Eval(55,1234) = %v, want %v", got, want)
+	}
+}
+
+func TestFitRecoversCubicHyper(t *testing.T) {
+	f := func(x, y, z float64) float64 {
+		return 1 + 0.1*x + 0.002*y - 0.001*z + 1e-6*y*z + 1e-9*y*y*z
+	}
+	var a, b, c, v []float64
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		x := 20 + rng.Float64()*150
+		y := 100 + rng.Float64()*2500
+		z := 100 + rng.Float64()*2500
+		a = append(a, x)
+		b = append(b, y)
+		c = append(c, z)
+		v = append(v, f(x, y, z))
+	}
+	p, err := FitHyper(a, b, c, v, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worstRel float64
+	for i := range a {
+		got := p.Eval(a[i], b[i], c[i])
+		rel := math.Abs(got-v[i]) / (math.Abs(v[i]) + 1e-9)
+		if rel > worstRel {
+			worstRel = rel
+		}
+	}
+	if worstRel > 1e-3 {
+		t.Errorf("worst relative error = %v, want < 1e-3", worstRel)
+	}
+}
+
+func TestFitHighOrderIsWellConditioned(t *testing.T) {
+	// 4th-order fit over wildly different variable ranges (slew in tens of ps,
+	// length in thousands of um) must stay numerically sane thanks to input
+	// normalization.
+	f := func(s, l float64) float64 { return 20 + 0.1*s + 0.04*l + 2e-6*l*l + 1e-4*s*l }
+	var xs, ys, zs []float64
+	for s := 20.0; s <= 150; s += 10 {
+		for l := 50.0; l <= 4000; l += 250 {
+			xs = append(xs, s)
+			ys = append(ys, l)
+			zs = append(zs, f(s, l))
+		}
+	}
+	p, err := FitSurface(xs, ys, zs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Assess(samples2(xs, ys), zs)
+	if q.R2 < 0.9999 {
+		t.Errorf("R2 = %v for 4th order fit, want ~1", q.R2)
+	}
+	for _, c := range p.Coef {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			t.Fatalf("non-finite coefficient %v", c)
+		}
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 3); err == nil {
+		t.Error("expected error for no samples")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, []float64{1, 2}, 3); err == nil {
+		t.Error("expected error for mismatched lengths")
+	}
+	if _, err := Fit([][]float64{{1, 2, 3, 4}}, []float64{1}, 2); err == nil {
+		t.Error("expected error for too many variables")
+	}
+	if _, err := Fit([][]float64{{1}, {2}}, []float64{1, 2}, 0); err == nil {
+		t.Error("expected error for zero degree")
+	}
+	// Too few samples for the number of coefficients.
+	if _, err := FitSurface([]float64{1, 2, 3}, []float64{1, 2, 3}, []float64{1, 2, 3}, 4); err == nil {
+		t.Error("expected error for underdetermined fit")
+	}
+	// Ragged rows.
+	if _, err := Fit([][]float64{{1, 2}, {1}}, []float64{1, 2}, 1); err == nil {
+		t.Error("expected error for ragged sample rows")
+	}
+	if _, err := FitSurface([]float64{1}, []float64{1, 2}, []float64{1}, 2); err == nil {
+		t.Error("expected error for mismatched surface slices")
+	}
+	if _, err := FitHyper([]float64{1}, []float64{1}, []float64{1, 2}, []float64{1}, 2); err == nil {
+		t.Error("expected error for mismatched hyper slices")
+	}
+}
+
+func TestEvalPanicsOnWrongArity(t *testing.T) {
+	p, err := Fit([][]float64{{1}, {2}, {3}}, []float64{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for wrong arity")
+		}
+	}()
+	p.Eval(1, 2)
+}
+
+func TestDegenerateConstantVariable(t *testing.T) {
+	// One variable is constant across all samples; normalization must not
+	// divide by zero and the fit must still reproduce the data.
+	var xs, ys, zs []float64
+	for l := 100.0; l <= 1000; l += 100 {
+		xs = append(xs, 80) // constant slew
+		ys = append(ys, l)
+		zs = append(zs, 5+0.03*l)
+	}
+	p, err := FitSurface(xs, ys, zs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Eval(80, 550), 5+0.03*550.0; math.Abs(got-want) > 1e-6 {
+		t.Errorf("Eval = %v, want %v", got, want)
+	}
+}
+
+func TestFitPropertyLinearExact(t *testing.T) {
+	// Any linear function is reproduced exactly (up to numerics) by a degree-1
+	// fit, for arbitrary coefficients.
+	f := func(a8, b8, c8 int8) bool {
+		a, b, c := float64(a8), float64(b8)/10, float64(c8)/100
+		var xs [][]float64
+		var ys []float64
+		for x := 0.0; x <= 10; x++ {
+			for y := 0.0; y <= 10; y++ {
+				xs = append(xs, []float64{x, y})
+				ys = append(ys, a+b*x+c*y)
+			}
+		}
+		p, err := Fit(xs, ys, 1)
+		if err != nil {
+			return false
+		}
+		q := p.Assess(xs, ys)
+		return q.MaxAbs < 1e-6*(1+math.Abs(a)+math.Abs(b)+math.Abs(c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAssessEmpty(t *testing.T) {
+	p := &Poly{Vars: 1, Degree: 1, Coef: []float64{0, 1}, Offset: []float64{0}, Scale: []float64{1}}
+	if q := p.Assess(nil, nil); q.RMSE != 0 || q.R2 != 0 {
+		t.Errorf("Assess(nil) = %+v", q)
+	}
+}
+
+func samples2(x, y []float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i := range x {
+		out[i] = []float64{x[i], y[i]}
+	}
+	return out
+}

@@ -1,0 +1,228 @@
+// Package linalg provides the small amount of dense linear algebra the
+// reproduction needs: LU factorization with partial pivoting (used by the
+// transient circuit simulator, whose nodal matrix is factored once per RC
+// stage and re-used every time step) and a least-squares solver via normal
+// equations (used by the polynomial surface fitting of the delay/slew
+// library).
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix of the given shape.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add adds v to the element at (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m * x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("linalg: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// LU is an LU factorization with partial pivoting of a square matrix.
+type LU struct {
+	lu   *Matrix
+	perm []int
+}
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Factor computes the LU factorization of the square matrix a.  The input is
+// not modified.
+func Factor(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: cannot factor non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the largest magnitude entry in column k.
+		p := k
+		max := math.Abs(lu.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu.At(i, k)); v > max {
+				max, p = v, i
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			perm[k], perm[p] = perm[p], perm[k]
+			for j := 0; j < n; j++ {
+				vk, vp := lu.At(k, j), lu.At(p, j)
+				lu.Set(k, j, vp)
+				lu.Set(p, j, vk)
+			}
+		}
+		pivot := lu.At(k, k)
+		for i := k + 1; i < n; i++ {
+			f := lu.At(i, k) / pivot
+			lu.Set(i, k, f)
+			if f == 0 {
+				continue
+			}
+			for j := k + 1; j < n; j++ {
+				lu.Add(i, j, -f*lu.At(k, j))
+			}
+		}
+	}
+	return &LU{lu: lu, perm: perm}, nil
+}
+
+// Solve solves A x = b using the factorization.  b is not modified.
+func (f *LU) Solve(b []float64) ([]float64, error) {
+	n := f.lu.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: rhs length %d does not match matrix size %d", len(b), n)
+	}
+	x := make([]float64, n)
+	// Apply the permutation and forward-substitute through L (unit diagonal).
+	for i := 0; i < n; i++ {
+		s := b[f.perm[i]]
+		for j := 0; j < i; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute through U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= f.lu.At(i, j) * x[j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return nil, ErrSingular
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}
+
+// SolveInto is like Solve but writes the solution into x (which must have
+// length n) and uses scratch-free in-place computation, avoiding allocation
+// in the simulator's inner time-stepping loop.
+func (f *LU) SolveInto(b, x []float64) error {
+	n := f.lu.Rows
+	if len(b) != n || len(x) != n {
+		return fmt.Errorf("linalg: SolveInto length mismatch (%d, %d) vs %d", len(b), len(x), n)
+	}
+	for i := 0; i < n; i++ {
+		s := b[f.perm[i]]
+		row := f.lu.Data[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * x[j]
+		}
+		x[i] = s
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := f.lu.Data[i*n+i+1 : (i+1)*n]
+		for j, v := range row {
+			s -= v * x[i+1+j]
+		}
+		d := f.lu.At(i, i)
+		if d == 0 {
+			return ErrSingular
+		}
+		x[i] = s / d
+	}
+	return nil
+}
+
+// SolveLinear solves the dense system A x = b directly (factor + solve).
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := Factor(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// LeastSquares solves the over-determined system A x ~= b in the
+// least-squares sense via the normal equations AᵀA x = Aᵀb with a small
+// Tikhonov regularization to keep nearly rank-deficient design matrices (for
+// example, polynomial bases evaluated on a narrow sweep) well conditioned.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: rhs length %d does not match %d rows", len(b), a.Rows)
+	}
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("linalg: underdetermined least squares (%d rows, %d cols)", a.Rows, a.Cols)
+	}
+	n := a.Cols
+	ata := NewMatrix(n, n)
+	atb := make([]float64, n)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*a.Cols : (i+1)*a.Cols]
+		for j := 0; j < n; j++ {
+			atb[j] += row[j] * b[i]
+			for k := j; k < n; k++ {
+				ata.Add(j, k, row[j]*row[k])
+			}
+		}
+	}
+	// Mirror the upper triangle and regularize the diagonal relative to its
+	// largest entry.
+	var maxDiag float64
+	for j := 0; j < n; j++ {
+		if d := ata.At(j, j); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	lambda := 1e-12 * maxDiag
+	for j := 0; j < n; j++ {
+		ata.Add(j, j, lambda)
+		for k := j + 1; k < n; k++ {
+			ata.Set(k, j, ata.At(j, k))
+		}
+	}
+	return SolveLinear(ata, atb)
+}

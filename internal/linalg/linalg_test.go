@@ -1,0 +1,195 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{4, -2, 1}, {-2, 4, -2}, {1, -2, 4}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	want := []float64{1, 2, 3}
+	b := a.MulVec(want)
+	got, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-9) {
+			t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveRandomSystemsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(8)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				a.Set(i, j, r.NormFloat64())
+			}
+			// Diagonally dominate to stay away from singularity.
+			a.Add(i, i, float64(n)*3)
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.NormFloat64() * 10
+		}
+		b := a.MulVec(want)
+		got, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if !almostEqual(got[i], want[i], 1e-6*(1+math.Abs(want[i]))) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFactorReuse(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range [][]float64{{1, 0}, {0, 1}, {5, -2}} {
+		b := a.MulVec(want)
+		got, err := f.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if !almostEqual(got[i], want[i], 1e-10) {
+				t.Errorf("x[%d] = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	n := 6
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			a.Set(i, j, rng.NormFloat64())
+		}
+		a.Add(i, i, 10)
+	}
+	f, err := Factor(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want, err := f.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float64, n)
+	if err := f.SolveInto(b, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if !almostEqual(got[i], want[i], 1e-12) {
+			t.Errorf("SolveInto[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSingularMatrix(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("expected singular matrix error")
+	}
+}
+
+func TestPivotingHandlesZeroDiagonal(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	got, err := SolveLinear(a, []float64{3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(got[0], 5, 1e-12) || !almostEqual(got[1], 3, 1e-12) {
+		t.Errorf("got %v, want [5 3]", got)
+	}
+}
+
+func TestNonSquareFactor(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := Factor(a); err == nil {
+		t.Error("expected error for non-square factorization")
+	}
+}
+
+func TestLeastSquaresRecoversPolynomial(t *testing.T) {
+	// Fit y = 2 + 3x - 0.5x^2 from noisy-free samples.
+	xs := []float64{-3, -2, -1, 0, 0.5, 1, 2, 3, 4, 5}
+	a := NewMatrix(len(xs), 3)
+	b := make([]float64, len(xs))
+	for i, x := range xs {
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		a.Set(i, 2, x*x)
+		b[i] = 2 + 3*x - 0.5*x*x
+	}
+	coef, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -0.5}
+	for i := range want {
+		if !almostEqual(coef[i], want[i], 1e-6) {
+			t.Errorf("coef[%d] = %v, want %v", i, coef[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := LeastSquares(a, []float64{1, 2}); err == nil {
+		t.Error("expected error for underdetermined system")
+	}
+}
+
+func TestMulVecMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMatrix(2, 2).MulVec([]float64{1})
+}

@@ -1,0 +1,757 @@
+// Package mergeroute implements the paper's merge-routing algorithm (Section
+// 4.2), which replaces the classical merge-segment computation: when two
+// sub-trees are merged, buffered routing paths are constructed from both
+// sub-tree roots simultaneously and a merge node is chosen and refined so
+// that the delays of the two sides balance while every wire segment honours
+// the slew constraint.
+//
+// The three stages are:
+//
+//   - Balance (4.2.1): if the delay difference between the two sub-trees
+//     exceeds what the routing region can absorb without detours, the faster
+//     sub-tree is wire-snaked with alternating wire segments and buffers
+//     until the remaining difference is routable.
+//
+//   - Route (4.2.2): bi-directional maze expansion over a dynamically sized
+//     routing grid.  Each expansion step extends the open wire segment of a
+//     path; the delay/slew library is consulted with the driving buffer's
+//     input slew assumed equal to the slew target, and when no library buffer
+//     could keep the segment within the target, a buffer is inserted using
+//     the intelligent sizing rule (evaluate all types at the current and the
+//     previous expansion grid and keep the placement whose slew is closest to
+//     the limit without exceeding it).  The grid cell with the minimum delay
+//     difference between the two expansions becomes the tentative merge node.
+//
+//   - Binary search (4.2.3): the merge node slides along the segment between
+//     the last fixed nodes of the two paths, re-evaluating the merged timing
+//     with the library until the delay difference converges.
+package mergeroute
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/charlib"
+	"repro/internal/clocktree"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Subtree is the synthesis-time view of a partially built clock tree: its
+// root node (a sink at level 0, otherwise a buffered merge node), the delay
+// range from the root's input pin to its sinks (computed with the library,
+// assuming the slew target as the input slew), and the capacitance the root
+// presents to its future driver.
+type Subtree struct {
+	// Root is the top node of the sub-tree.
+	Root *clocktree.Node
+	// MinDelay and MaxDelay bound the root-to-sink delays in ps.
+	MinDelay, MaxDelay float64
+	// LoadCap is the capacitance seen at the root's input in fF.
+	LoadCap float64
+	// Level is the topology level at which the sub-tree was created (sinks
+	// are level 0).
+	Level int
+	// Children are the two sub-trees that were merged to create this one
+	// (nil for sinks).
+	Children [2]*Subtree
+	// Flipped records whether H-structure correction changed this sub-tree's
+	// pairing (used for the Table 5.3 statistics).
+	Flipped bool
+}
+
+// Skew returns the internal skew of the sub-tree.
+func (s *Subtree) Skew() float64 { return s.MaxDelay - s.MinDelay }
+
+// Pos returns the sub-tree root position.
+func (s *Subtree) Pos() geom.Point { return s.Root.Pos }
+
+// SinkSubtree wraps a clock sink as a level-0 sub-tree.
+func SinkSubtree(name string, pos geom.Point, cap float64) *Subtree {
+	return &Subtree{
+		Root:    &clocktree.Node{Name: name, Kind: clocktree.KindSink, Pos: pos, SinkCap: cap},
+		LoadCap: cap,
+	}
+}
+
+// Config controls the merge-routing engine.
+type Config struct {
+	// Lib is the delay/slew library used for all timing lookups.
+	Lib *charlib.Library
+	// SlewTarget is the synthesis slew target in ps (the paper uses 80 ps
+	// against a 100 ps limit, leaving a margin).
+	SlewTarget float64
+	// GridSize is the initial number of routing grid cells per dimension of
+	// the bounding box (R in Section 4.2.2, default 45).
+	GridSize int
+	// MaxGridSize caps the dynamically grown grid (default 120).
+	MaxGridSize int
+	// BinarySearchIters bounds the merge-point refinement (default 24).
+	BinarySearchIters int
+}
+
+func (c Config) withDefaults() Config {
+	if c.SlewTarget <= 0 {
+		c.SlewTarget = 80
+	}
+	if c.GridSize <= 0 {
+		c.GridSize = 45
+	}
+	if c.MaxGridSize <= 0 {
+		c.MaxGridSize = 120
+	}
+	if c.BinarySearchIters <= 0 {
+		c.BinarySearchIters = 24
+	}
+	return c
+}
+
+// Merger performs merge-routing for one synthesis run.
+type Merger struct {
+	tech *tech.Technology
+	cfg  Config
+	// maxDrivable caches, per load capacitance, the longest wire any library
+	// buffer can drive under the slew target.
+	maxDrivable map[float64]float64
+}
+
+// New returns a merger bound to the technology and configuration.
+func New(t *tech.Technology, cfg Config) (*Merger, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Lib == nil {
+		return nil, errors.New("mergeroute: configuration has no delay/slew library")
+	}
+	return &Merger{tech: t, cfg: cfg, maxDrivable: map[float64]float64{}}, nil
+}
+
+// SlewTarget returns the configured synthesis slew target.
+func (m *Merger) SlewTarget() float64 { return m.cfg.SlewTarget }
+
+// maxDrivableLen returns the longest wire any library buffer can drive into
+// the given load while keeping the far-end slew at the target, memoized per
+// load capacitance.
+func (m *Merger) maxDrivableLen(loadCap float64) float64 {
+	if v, ok := m.maxDrivable[loadCap]; ok {
+		return v
+	}
+	best := 0.0
+	for _, b := range m.tech.Buffers {
+		if l := m.cfg.Lib.MaxWireLength(b, loadCap, m.cfg.SlewTarget, m.cfg.SlewTarget); l > best {
+			best = l
+		}
+	}
+	if best < 10 {
+		best = 10
+	}
+	m.maxDrivable[loadCap] = best
+	return best
+}
+
+// pathNode is one placed node (buffer or terminal) on a routed path, ordered
+// from the sub-tree root outwards (towards the future merge node).
+type pathNode struct {
+	pos     geom.Point
+	buffer  *tech.Buffer // nil only for the sub-tree root itself
+	node    *clocktree.Node
+	loadCap float64 // capacitance this node presents to its driver
+	downMin float64 // delay from this node's input pin to the sub-tree sinks
+	downMax float64
+}
+
+// Merge runs the three merge-routing stages on two sub-trees and returns the
+// merged sub-tree rooted at a buffered merge node.  The input sub-trees are
+// not modified; on success their root nodes become descendants of the new
+// merge node.
+func (m *Merger) Merge(a, b *Subtree) (*Subtree, error) {
+	if a == nil || b == nil {
+		return nil, errors.New("mergeroute: nil sub-tree")
+	}
+	// Work on copies so that a failed or discarded merge leaves the inputs
+	// untouched (needed by the H-structure correction, which routes trial
+	// merges and keeps only the best).
+	wa, wb := *a, *b
+
+	// Stage 1: balance.
+	m.balance(&wa, &wb)
+
+	// Stage 2: bi-directional maze routing.
+	pathA, pathB, err := m.route(&wa, &wb)
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3: binary search refinement of the merge point between the last
+	// fixed nodes, then assembly of the tree structure.
+	merged, err := m.finalize(&wa, &wb, pathA, pathB)
+	if err != nil {
+		return nil, err
+	}
+	merged.Children = [2]*Subtree{a, b}
+	merged.Level = maxInt(a.Level, b.Level) + 1
+	return merged, nil
+}
+
+// Detach undoes the structural attachment of a previously merged pair: it is
+// used by the H-structure correction to discard trial merges.  The sub-tree
+// roots of the former children become parentless again.
+func Detach(children ...*Subtree) {
+	for _, c := range children {
+		if c != nil && c.Root != nil {
+			c.Root.Parent = nil
+			c.Root.WireLen = 0
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: balance
+// ---------------------------------------------------------------------------
+
+// balance pre-equalizes the two sub-trees' delays with wire snaking when the
+// routing region cannot absorb the difference (Section 4.2.1).
+func (m *Merger) balance(a, b *Subtree) {
+	dist := a.Pos().Manhattan(b.Pos())
+	budget := m.estimatePathDelay(dist, minFloat(a.LoadCap, b.LoadCap))
+
+	for i := 0; i < 64; i++ {
+		diff := a.MaxDelay - b.MaxDelay
+		fast := b
+		if diff < 0 {
+			fast = a
+			diff = -diff
+		}
+		// Leave some head-room: the routing stage can absorb roughly the delay
+		// of the direct path; snake only the excess.
+		if diff <= budget*0.9 {
+			return
+		}
+		need := diff - budget*0.6
+		m.snake(fast, need)
+	}
+}
+
+// snake adds one wire-plus-buffer stage on top of the sub-tree root, adding
+// approximately the needed delay while honouring the slew target.  The new
+// buffer becomes the sub-tree root.
+func (m *Merger) snake(s *Subtree, needed float64) {
+	lib := m.cfg.Lib
+	target := m.cfg.SlewTarget
+
+	// Choose the smallest buffer that can still make progress, then pick a
+	// wire length: as long as allowed, but not (much) more delay than needed.
+	var buf tech.Buffer
+	var length float64
+	found := false
+	for _, cand := range m.tech.Buffers {
+		maxLen := lib.MaxWireLength(cand, s.LoadCap, target, target)
+		if maxLen < 10 {
+			continue
+		}
+		l := maxLen
+		// Shrink the segment if a shorter one already provides the needed delay.
+		for steps := 0; steps < 12; steps++ {
+			tm := lib.SingleWire(cand, s.LoadCap, target, l)
+			if tm.Total() <= needed*1.05 || l <= 10 {
+				break
+			}
+			l *= 0.8
+		}
+		buf, length, found = cand, l, true
+		break
+	}
+	if !found {
+		buf = m.tech.LargestBuffer()
+		length = 10
+	}
+
+	tm := lib.SingleWire(buf, s.LoadCap, target, length)
+	bufCopy := buf
+	node := &clocktree.Node{
+		Name:   "snake",
+		Kind:   clocktree.KindRouting,
+		Pos:    s.Pos(),
+		Buffer: &bufCopy,
+	}
+	node.AddChild(s.Root, length)
+	s.Root = node
+	s.MinDelay += tm.Total()
+	s.MaxDelay += tm.Total()
+	s.LoadCap = buf.InputCap
+}
+
+// estimatePathDelay estimates the delay of a buffered path of the given
+// length driving the given terminal load, with buffers inserted at the
+// maximum drivable spacing — the routing stage's balancing budget.
+func (m *Merger) estimatePathDelay(dist, termCap float64) float64 {
+	if dist <= 0 {
+		return 0
+	}
+	lib := m.cfg.Lib
+	target := m.cfg.SlewTarget
+	buf := m.tech.LargestBuffer()
+	maxLen := m.maxDrivableLen(buf.InputCap)
+	var delay float64
+	remaining := dist
+	loadCap := termCap
+	for remaining > 0 {
+		seg := math.Min(remaining, maxLen)
+		delay += lib.SingleWire(buf, loadCap, target, seg).Total()
+		loadCap = buf.InputCap
+		remaining -= seg
+	}
+	return delay
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: bi-directional maze routing
+// ---------------------------------------------------------------------------
+
+// cellState is the expansion state of one routing grid cell for one side.
+type cellState struct {
+	reached bool
+	// est is the priority metric: estimated maximum sink delay if the merge
+	// buffer were placed at this cell.
+	est float64
+	// baseMin/baseMax are the delays from the last placed node's input pin
+	// down to the sinks.
+	baseMin, baseMax float64
+	// segLen is the open wire length from this cell back to the last placed
+	// node.
+	segLen float64
+	// loadCap is the capacitance of the last placed node.
+	loadCap float64
+	// lastPos is the position of the last placed node.
+	lastPos geom.Point
+	// parent is the cell index this state was expanded from (-1 at the seed).
+	parent int
+	// placed, when non-nil, is a buffer that was placed while entering this
+	// cell, at position placedPos.
+	placed    *tech.Buffer
+	placedPos geom.Point
+	// placedDownMin/Max are the downstream delays at the placed buffer's
+	// input pin.
+	placedDownMin, placedDownMax float64
+}
+
+// grid describes the routing grid of one merge operation.
+type grid struct {
+	origin   geom.Point
+	cellSize float64
+	nx, ny   int
+}
+
+func (g *grid) index(ix, iy int) int { return iy*g.nx + ix }
+func (g *grid) center(ix, iy int) geom.Point {
+	return geom.Pt(g.origin.X+(float64(ix)+0.5)*g.cellSize, g.origin.Y+(float64(iy)+0.5)*g.cellSize)
+}
+func (g *grid) cellOf(p geom.Point) (int, int) {
+	ix := int((p.X - g.origin.X) / g.cellSize)
+	iy := int((p.Y - g.origin.Y) / g.cellSize)
+	ix = clampInt(ix, 0, g.nx-1)
+	iy = clampInt(iy, 0, g.ny-1)
+	return ix, iy
+}
+
+// route runs the two maze expansions and returns the reconstructed paths
+// from each sub-tree root to the selected merge cell.
+func (m *Merger) route(a, b *Subtree) (pathA, pathB []pathNode, err error) {
+	dist := a.Pos().Manhattan(b.Pos())
+	rootA := pathNode{pos: a.Pos(), node: a.Root, loadCap: a.LoadCap, downMin: a.MinDelay, downMax: a.MaxDelay}
+	rootB := pathNode{pos: b.Pos(), node: b.Root, loadCap: b.LoadCap, downMin: b.MinDelay, downMax: b.MaxDelay}
+
+	// Tiny separations need no maze: the merge node sits between the roots.
+	g := m.buildGrid(a.Pos(), b.Pos())
+	if dist < g.cellSize || g.nx*g.ny <= 4 {
+		return []pathNode{rootA}, []pathNode{rootB}, nil
+	}
+
+	statesA := m.expand(g, a)
+	statesB := m.expand(g, b)
+
+	// Pick the grid cell with the minimum estimated skew of the merged tree;
+	// break ties with the smaller maximum latency.
+	bestIdx, bestSkew, bestLat := -1, math.Inf(1), math.Inf(1)
+	for i := range statesA {
+		sa, sb := &statesA[i], &statesB[i]
+		if !sa.reached || !sb.reached {
+			continue
+		}
+		skew := math.Abs(sa.est - sb.est)
+		lat := math.Max(sa.est, sb.est)
+		if skew < bestSkew-1e-9 || (math.Abs(skew-bestSkew) <= 1e-9 && lat < bestLat) {
+			bestIdx, bestSkew, bestLat = i, skew, lat
+		}
+	}
+	if bestIdx < 0 {
+		return nil, nil, fmt.Errorf("mergeroute: maze expansion found no common merge cell for roots %v and %v",
+			a.Pos(), b.Pos())
+	}
+
+	pathA = reconstruct(g, statesA, bestIdx, rootA)
+	pathB = reconstruct(g, statesB, bestIdx, rootB)
+	return pathA, pathB, nil
+}
+
+// buildGrid sizes the routing grid: R cells per dimension by default, grown
+// when the pair distance is large so that grid steps stay well below the
+// maximum drivable wire length (the dynamic adjustment of Section 4.2.2).
+func (m *Merger) buildGrid(p, q geom.Point) *grid {
+	box := geom.NewRect(p, q)
+	box = box.Expand(0.08*box.LongerDim() + 10)
+	longer := box.LongerDim()
+
+	r := m.cfg.GridSize
+	maxLen := m.maxDrivableLen(m.tech.LargestBuffer().InputCap)
+	for longer/float64(r) > maxLen/3 && r < m.cfg.MaxGridSize {
+		r += 15
+	}
+	cell := longer / float64(r)
+	if cell <= 0 {
+		cell = 1
+	}
+	nx := int(math.Ceil(box.Width()/cell)) + 1
+	ny := int(math.Ceil(box.Height()/cell)) + 1
+	if nx < 2 {
+		nx = 2
+	}
+	if ny < 2 {
+		ny = 2
+	}
+	return &grid{origin: box.Lo, cellSize: cell, nx: nx, ny: ny}
+}
+
+// expandItem is a priority queue entry for the maze expansion.
+type expandItem struct {
+	idx int
+	est float64
+}
+
+type expandQueue []expandItem
+
+func (q expandQueue) Len() int            { return len(q) }
+func (q expandQueue) Less(i, j int) bool  { return q[i].est < q[j].est }
+func (q expandQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *expandQueue) Push(x interface{}) { *q = append(*q, x.(expandItem)) }
+func (q *expandQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// expand runs the delay-driven maze expansion from one sub-tree root over the
+// grid, inserting buffers whenever the open segment could no longer satisfy
+// the slew target (Figure 4.4).
+func (m *Merger) expand(g *grid, s *Subtree) []cellState {
+	lib := m.cfg.Lib
+	target := m.cfg.SlewTarget
+	refBuf := m.tech.Buffers[len(m.tech.Buffers)/2]
+
+	states := make([]cellState, g.nx*g.ny)
+	// openDelay is the priority metric's estimate of the (future) merge
+	// buffer's delay through the still-open segment.  It is evaluated for
+	// every grid relaxation, so a closed-form estimate is used here; the
+	// binary-search stage re-times the final configuration with the library.
+	openDelay := func(loadCap, segLen float64) float64 {
+		cw := m.tech.WireCap(segLen)
+		rw := m.tech.WireRes(segLen)
+		return refBuf.IntrinsicDelay + refBuf.InternalTau +
+			math.Ln2*(refBuf.DriveRes*(cw+loadCap)+rw*(cw/2+loadCap))*tech.PsPerOhmFF
+	}
+
+	six, siy := g.cellOf(s.Pos())
+	start := g.index(six, siy)
+	seed := cellState{
+		reached: true,
+		baseMin: s.MinDelay, baseMax: s.MaxDelay,
+		segLen:  s.Pos().Manhattan(g.center(six, siy)),
+		loadCap: s.LoadCap,
+		lastPos: s.Pos(),
+		parent:  -1,
+	}
+	seed.est = seed.baseMax + openDelay(seed.loadCap, seed.segLen)
+	states[start] = seed
+
+	pq := &expandQueue{{idx: start, est: seed.est}}
+	heap.Init(pq)
+	visited := make([]bool, len(states))
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(expandItem)
+		if visited[cur.idx] {
+			continue
+		}
+		visited[cur.idx] = true
+		cs := states[cur.idx]
+		cx, cy := cur.idx%g.nx, cur.idx/g.nx
+		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nxp, nyp := cx+d[0], cy+d[1]
+			if nxp < 0 || nyp < 0 || nxp >= g.nx || nyp >= g.ny {
+				continue
+			}
+			ni := g.index(nxp, nyp)
+			if visited[ni] {
+				continue
+			}
+			next := cs
+			next.parent = cur.idx
+			next.placed = nil
+			step := g.cellSize
+			newSeg := cs.segLen + step
+			curPos := g.center(cx, cy)
+			nextPos := g.center(nxp, nyp)
+
+			// Insert buffers at half the maximum drivable spacing: the merge
+			// point later slides along the segment between the last fixed
+			// nodes of the two paths, so each individual open segment must
+			// leave room for the combined span to stay drivable.
+			if newSeg > 0.5*m.maxDrivableLen(cs.loadCap) {
+				// No buffer can drive the grown segment: insert one using the
+				// intelligent sizing rule, evaluating both the previous cell
+				// (shorter segment) and the current frontier.
+				buf, pos, segUsed, ok := m.chooseBuffer(cs.loadCap, cs.segLen, newSeg, curPos, nextPos)
+				if !ok {
+					// Even the previous cell cannot be driven; this indicates a
+					// degenerate configuration (extremely large load).  Place the
+					// largest buffer at the previous cell regardless.
+					buf, pos, segUsed = m.tech.LargestBuffer(), curPos, cs.segLen
+				}
+				segTiming := lib.SingleWire(buf, cs.loadCap, target, math.Max(segUsed, 1))
+				bufCopy := buf
+				next.placed = &bufCopy
+				next.placedPos = pos
+				next.placedDownMin = cs.baseMin + segTiming.Total()
+				next.placedDownMax = cs.baseMax + segTiming.Total()
+				next.baseMin = next.placedDownMin
+				next.baseMax = next.placedDownMax
+				next.loadCap = buf.InputCap
+				next.lastPos = pos
+				next.segLen = pos.Manhattan(nextPos)
+			} else {
+				next.segLen = newSeg
+			}
+			next.est = next.baseMax + openDelay(next.loadCap, next.segLen)
+			if !states[ni].reached || next.est < states[ni].est {
+				next.reached = true
+				states[ni] = next
+				heap.Push(pq, expandItem{idx: ni, est: next.est})
+			}
+		}
+	}
+	return states
+}
+
+// chooseBuffer implements the intelligent buffer sizing of Section 4.2.2: all
+// buffer types are evaluated at the frontier cell (segment newSeg) and at the
+// previous cell (segment oldSeg); the placement whose far-end slew is closest
+// to the target without exceeding it wins.
+func (m *Merger) chooseBuffer(loadCap, oldSeg, newSeg float64, prevPos, frontierPos geom.Point) (tech.Buffer, geom.Point, float64, bool) {
+	lib := m.cfg.Lib
+	target := m.cfg.SlewTarget
+	type cand struct {
+		buf tech.Buffer
+		pos geom.Point
+		seg float64
+	}
+	var best cand
+	bestSlack := math.Inf(1)
+	found := false
+	for _, buf := range m.tech.Buffers {
+		for _, c := range []cand{
+			{buf: buf, pos: frontierPos, seg: newSeg},
+			{buf: buf, pos: prevPos, seg: oldSeg},
+		} {
+			if c.seg < 1 {
+				c.seg = 1
+			}
+			s := lib.SingleWire(buf, loadCap, target, c.seg).OutputSlew
+			if s > target {
+				continue
+			}
+			if slack := target - s; slack < bestSlack {
+				best, bestSlack, found = c, slack, true
+			}
+		}
+	}
+	if !found {
+		return tech.Buffer{}, geom.Point{}, 0, false
+	}
+	return best.buf, best.pos, best.seg, true
+}
+
+// reconstruct walks the parent pointers from the merge cell back to the seed
+// and returns the placed nodes ordered from the sub-tree root outwards.
+func reconstruct(g *grid, states []cellState, mergeIdx int, root pathNode) []pathNode {
+	var reversed []pathNode
+	for idx := mergeIdx; idx >= 0; idx = states[idx].parent {
+		st := states[idx]
+		if st.placed != nil {
+			reversed = append(reversed, pathNode{
+				pos:     st.placedPos,
+				buffer:  st.placed,
+				loadCap: st.placed.InputCap,
+				downMin: st.placedDownMin,
+				downMax: st.placedDownMax,
+			})
+		}
+		if st.parent < 0 {
+			break
+		}
+	}
+	path := []pathNode{root}
+	for i := len(reversed) - 1; i >= 0; i-- {
+		path = append(path, reversed[i])
+	}
+	return path
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: binary search and assembly
+// ---------------------------------------------------------------------------
+
+// finalize chooses the merge buffer, refines the merge position between the
+// last fixed nodes of the two paths, and builds the clock tree structure.
+func (m *Merger) finalize(a, b *Subtree, pathA, pathB []pathNode) (*Subtree, error) {
+	lib := m.cfg.Lib
+	target := m.cfg.SlewTarget
+
+	lastA := pathA[len(pathA)-1]
+	lastB := pathB[len(pathB)-1]
+	seg := geom.Segment{A: lastA.pos, B: lastB.pos}
+	span := seg.Length()
+
+	// The merge buffer must be able to drive both arms; size it for the worst
+	// case (the full span into the smaller load) and fall back to the largest.
+	mergeBuf, ok := lib.BestBufferFor(minFloat(lastA.loadCap, lastB.loadCap), target, math.Max(span, 1), target)
+	if !ok {
+		mergeBuf = m.tech.LargestBuffer()
+	}
+
+	// The binary search may only slide the merge point as far as the merge
+	// buffer can still drive each arm within the slew target.
+	rMin, rMax := 0.0, 1.0
+	if span > 1 {
+		maxA := lib.MaxWireLength(mergeBuf, lastA.loadCap, target, target)
+		maxB := lib.MaxWireLength(mergeBuf, lastB.loadCap, target, target)
+		rMax = math.Min(1, maxA/span)
+		rMin = math.Max(0, 1-maxB/span)
+		if rMin > rMax {
+			// Degenerate: even the largest buffer cannot cover the span from
+			// one end; keep the midpoint, which minimizes the worse arm.
+			rMin, rMax = 0.5, 0.5
+		}
+	}
+
+	evalDiff := func(r float64) (diff, minD, maxD float64, bt charlib.BranchTiming) {
+		l1 := r * span
+		l2 := (1 - r) * span
+		bt = lib.Branch(mergeBuf, target, math.Max(l1, 1), math.Max(l2, 1), lastA.loadCap, lastB.loadCap)
+		maxA := bt.BufferDelay + bt.LeftDelay + lastA.downMax
+		minA := bt.BufferDelay + bt.LeftDelay + lastA.downMin
+		maxB := bt.BufferDelay + bt.RightDelay + lastB.downMax
+		minB := bt.BufferDelay + bt.RightDelay + lastB.downMin
+		return maxA - maxB, math.Min(minA, minB), math.Max(maxA, maxB), bt
+	}
+
+	// Binary search on the ratio r (Section 4.2.3): the delay difference is
+	// monotone in r, so bisect on its sign within the slew-feasible range.
+	lo, hi := rMin, rMax
+	r := (rMin + rMax) / 2
+	if span > 1 && rMax > rMin {
+		dLo, _, _, _ := evalDiff(lo)
+		dHi, _, _, _ := evalDiff(hi)
+		switch {
+		case dLo >= 0:
+			r = lo // side A is already slower even with minimal wire towards it
+		case dHi <= 0:
+			r = hi
+		default:
+			for i := 0; i < m.cfg.BinarySearchIters; i++ {
+				r = (lo + hi) / 2
+				d, _, _, _ := evalDiff(r)
+				if math.Abs(d) < 1e-3 {
+					break
+				}
+				if d > 0 {
+					hi = r
+				} else {
+					lo = r
+				}
+			}
+		}
+	}
+	_, minD, maxD, _ := evalDiff(r)
+	mergePos := seg.PointAtRatio(r)
+
+	// Assemble the physical structure: merge node (buffered) -> path nodes in
+	// reverse order -> original sub-tree roots.
+	bufCopy := mergeBuf
+	mergeNode := &clocktree.Node{
+		Name:   "merge",
+		Kind:   clocktree.KindMerge,
+		Pos:    mergePos,
+		Buffer: &bufCopy,
+	}
+	attachArm(mergeNode, pathA, r*span)
+	attachArm(mergeNode, pathB, (1-r)*span)
+
+	return &Subtree{
+		Root:     mergeNode,
+		MinDelay: minD,
+		MaxDelay: maxD,
+		LoadCap:  mergeBuf.InputCap,
+	}, nil
+}
+
+// attachArm links the path nodes under the merge node.  The path is ordered
+// from the sub-tree root outwards, so it is attached in reverse: the node
+// closest to the merge point becomes the merge node's child.
+func attachArm(mergeNode *clocktree.Node, path []pathNode, firstWire float64) {
+	parent := mergeNode
+	prevPos := mergeNode.Pos
+	for i := len(path) - 1; i >= 0; i-- {
+		pn := path[i]
+		node := pn.node
+		if node == nil {
+			node = &clocktree.Node{
+				Name:   "route_buf",
+				Kind:   clocktree.KindRouting,
+				Pos:    pn.pos,
+				Buffer: pn.buffer,
+			}
+		}
+		wire := prevPos.Manhattan(pn.pos)
+		if i == len(path)-1 {
+			wire = math.Max(wire, firstWire)
+		}
+		parent.AddChild(node, wire)
+		parent = node
+		prevPos = pn.pos
+	}
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minFloat(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package moments
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/spice"
+	"repro/internal/tech"
+)
+
+func TestSinglePoleMatchesTheory(t *testing.T) {
+	// A single lumped RC: moments and metrics have exact closed forms.
+	net := circuit.New()
+	n := net.AddNode("load")
+	net.AddCap(n, 500)
+	a, err := Analyze(net, n, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tau := 100 * 500 * tech.PsPerOhmFF // 50 ps
+	if got := a.Elmore(n); math.Abs(got-tau) > 1e-9 {
+		t.Errorf("Elmore = %v, want %v", got, tau)
+	}
+	if got := a.DelayD2M(n); math.Abs(got-math.Ln2*tau) > 1e-9 {
+		t.Errorf("D2M = %v, want %v", got, math.Ln2*tau)
+	}
+	if got := a.SlewStep(n); math.Abs(got-math.Log(9)*tau) > 1e-9 {
+		t.Errorf("SlewStep = %v, want %v", got, math.Log(9)*tau)
+	}
+	if got := a.SlewRamp(n, 0); math.Abs(got-a.SlewStep(n)) > 1e-12 {
+		t.Errorf("SlewRamp(0) = %v, want %v", got, a.SlewStep(n))
+	}
+	if got := a.SlewRamp(n, 100); got <= a.SlewStep(n) {
+		t.Error("ramp input must not reduce the output slew")
+	}
+}
+
+func TestWireElmoreMatchesAnalyze(t *testing.T) {
+	tt := tech.Default()
+	length, driveRes, loadCap := 1000.0, 95.0, 24.0
+	net := circuit.New()
+	start := net.AddNode("start")
+	end := net.AddWire(tt, start, length, 10) // fine segmentation
+	net.AddCap(end, loadCap)
+	a, err := Analyze(net, start, driveRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := WireElmore(tt, driveRes, length, loadCap)
+	// The distributed pi ladder converges to the closed form from below as the
+	// segmentation refines; with 10 um segments they agree closely.
+	if math.Abs(a.Elmore(end)-closed) > 0.01*closed {
+		t.Errorf("Analyze Elmore = %v, closed form = %v", a.Elmore(end), closed)
+	}
+}
+
+func TestElmoreMonotoneAlongPath(t *testing.T) {
+	tt := tech.Default()
+	net := circuit.New()
+	start := net.AddNode("start")
+	mid := net.AddWire(tt, start, 500, 100)
+	end := net.AddWire(tt, mid, 500, 100)
+	net.AddCap(end, 30)
+	a, err := Analyze(net, start, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(a.Elmore(start) < a.Elmore(mid) && a.Elmore(mid) < a.Elmore(end)) {
+		t.Errorf("Elmore not monotone: %v %v %v", a.Elmore(start), a.Elmore(mid), a.Elmore(end))
+	}
+	if a.TotalCap <= 0 {
+		t.Error("total cap must be positive")
+	}
+}
+
+func TestDetectsResistiveLoop(t *testing.T) {
+	net := circuit.New()
+	a := net.AddNode("a")
+	b := net.AddNode("b")
+	c := net.AddNode("c")
+	net.AddResistor(a, b, 10)
+	net.AddResistor(b, c, 10)
+	net.AddResistor(c, a, 10)
+	net.AddCap(a, 1)
+	net.AddCap(b, 1)
+	net.AddCap(c, 1)
+	if _, err := Analyze(net, a, 50); err == nil {
+		t.Error("expected loop detection error")
+	}
+}
+
+func TestNegativeDriveRes(t *testing.T) {
+	net := circuit.New()
+	a := net.AddNode("a")
+	net.AddCap(a, 1)
+	if _, err := Analyze(net, a, -1); err == nil {
+		t.Error("expected error for negative drive resistance")
+	}
+}
+
+func TestD2MBeatsElmoreAgainstSimulation(t *testing.T) {
+	// Section 3.1: Elmore overestimates the 50% delay of resistively shielded
+	// far nodes; two-moment metrics are closer to simulation.  Verify the
+	// ordering |D2M - sim| <= |ln2*Elmore - sim| on a representative wire.
+	tt := tech.Default()
+	driveRes := tt.SourceDriveRes
+	length := 2000.0
+
+	// Moment analysis of the wire.
+	net := circuit.New()
+	start := net.AddNode("start")
+	end := net.AddWire(tt, start, length, 50)
+	net.AddCap(end, 30)
+	a, err := Analyze(net, start, driveRes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reference transient simulation with a step stimulus on the same wire.
+	simNet := circuit.New()
+	src := simNet.AddSource("clk", driveRes)
+	simEnd := simNet.AddWire(tt, src, length, 50)
+	simNet.AddSink("load", simEnd, 30)
+	res, err := spice.Simulate(simNet, tt, spice.Options{Shape: spice.StimulusStep, TimeStep: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simDelay, err := res.DelayTo(simEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	elmore50 := math.Ln2 * a.Elmore(end)
+	d2m := a.DelayD2M(end)
+	errElmore := math.Abs(elmore50 - simDelay)
+	errD2M := math.Abs(d2m - simDelay)
+	if errD2M > errElmore {
+		t.Errorf("D2M error %v ps should not exceed Elmore error %v ps (sim %v, elmore50 %v, d2m %v)",
+			errD2M, errElmore, simDelay, elmore50, d2m)
+	}
+	// Elmore (the raw first moment) must overestimate the simulated delay.
+	if a.Elmore(end) < simDelay {
+		t.Errorf("raw Elmore %v ps should overestimate the simulated 50%% delay %v ps", a.Elmore(end), simDelay)
+	}
+}
+
+func TestSlewStepTracksSimulation(t *testing.T) {
+	tt := tech.Default()
+	length := 1500.0
+	net := circuit.New()
+	start := net.AddNode("start")
+	end := net.AddWire(tt, start, length, 50)
+	net.AddCap(end, 30)
+	a, err := Analyze(net, start, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simNet := circuit.New()
+	src := simNet.AddSource("clk", 100)
+	simEnd := simNet.AddWire(tt, src, length, 50)
+	simNet.AddSink("load", simEnd, 30)
+	res, err := spice.Simulate(simNet, tt, spice.Options{Shape: spice.StimulusStep, TimeStep: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSlew, err := res.SlewAt(simEnd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.SlewStep(end)
+	if math.Abs(got-simSlew) > 0.35*simSlew {
+		t.Errorf("moment slew = %v ps, simulated %v ps; expected within 35%%", got, simSlew)
+	}
+}

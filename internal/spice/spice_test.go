@@ -1,0 +1,276 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/circuit"
+	"repro/internal/tech"
+)
+
+// buildLumpedRC builds source -> Rdrive -> single capacitor.
+func buildLumpedRC(t *tech.Technology, capFF float64) (*circuit.Netlist, circuit.NodeID) {
+	net := circuit.New()
+	out := net.AddSource("clk", t.SourceDriveRes)
+	net.AddSink("load", out, capFF)
+	return net, out
+}
+
+func TestStepResponseMatchesFirstOrderTheory(t *testing.T) {
+	tt := tech.Default()
+	tt.SourceDriveRes = 100
+	capFF := 500.0
+	net, load := buildLumpedRC(tt, capFF)
+	res, err := Simulate(net, tt, Options{Shape: StimulusStep, TimeStep: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := 100 * capFF * tech.PsPerOhmFF // 50 ps
+	delay, err := res.DelayTo(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelay := math.Ln2 * rc
+	if math.Abs(delay-wantDelay) > 0.05*wantDelay {
+		t.Errorf("50%% delay = %v ps, want ~%v ps", delay, wantDelay)
+	}
+	slew, err := res.SlewAt(load)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSlew := math.Log(9) * rc
+	if math.Abs(slew-wantSlew) > 0.05*wantSlew {
+		t.Errorf("10-90%% slew = %v ps, want ~%v ps", slew, wantSlew)
+	}
+}
+
+func TestWireSlewGrowsWithLength(t *testing.T) {
+	// Premise of Figure 1.1: output slew grows quickly with wire length and a
+	// larger driving buffer gives only modest relief.
+	tt := tech.Default()
+	slews := map[string]map[float64]float64{}
+	for _, bufName := range []string{"BUF_X20", "BUF_X30"} {
+		buf, _ := tt.BufferByName(bufName)
+		slews[bufName] = map[float64]float64{}
+		for _, length := range []float64{500, 1500, 3000} {
+			net := circuit.New()
+			src := net.AddSource("clk", tt.SourceDriveRes)
+			bufOut := net.AddBuffer("drv", buf, src)
+			end := net.AddWire(tt, bufOut, length, 100)
+			net.AddSink("load", end, tt.SinkCapDefault)
+			res, err := Simulate(net, tt, Options{})
+			if err != nil {
+				t.Fatalf("%s len %v: %v", bufName, length, err)
+			}
+			s, err := res.SlewAt(end)
+			if err != nil {
+				t.Fatalf("%s len %v: %v", bufName, length, err)
+			}
+			slews[bufName][length] = s
+		}
+	}
+	for name, byLen := range slews {
+		if !(byLen[500] < byLen[1500] && byLen[1500] < byLen[3000]) {
+			t.Errorf("%s: slew not increasing with length: %+v", name, byLen)
+		}
+	}
+	// At 3000 um both buffers violate a 100 ps limit: upsizing alone is not a fix.
+	if slews["BUF_X30"][3000] < 100 {
+		t.Errorf("3 mm wire slew with X30 = %v ps; expected a violation of the 100 ps limit", slews["BUF_X30"][3000])
+	}
+	// The X30 buffer helps, but only modestly (well under 2x at long lengths).
+	improvement := slews["BUF_X20"][3000] / slews["BUF_X30"][3000]
+	if improvement > 1.6 {
+		t.Errorf("upsizing improved 3 mm slew by %.2fx; expected a modest improvement", improvement)
+	}
+	if improvement < 1.0 {
+		t.Errorf("upsizing made slew worse (%.2fx)", improvement)
+	}
+}
+
+func TestBufferDelayDependsOnInputSlew(t *testing.T) {
+	// Key effect from Chapter 1: buffer intrinsic delay varies with input slew,
+	// so delays cannot be known before the upstream circuit is fixed.
+	tt := tech.Default()
+	buf := tt.Buffers[0]
+	delayFor := func(sourceSlew float64) float64 {
+		net := circuit.New()
+		src := net.AddSource("clk", 10)
+		out := net.AddBuffer("b", buf, src)
+		net.AddSink("load", out, 30)
+		res, err := Simulate(net, tt, Options{SourceSlew: sourceSlew})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dIn, err := res.DelayTo(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dOut, err := res.DelayTo(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dOut - dIn
+	}
+	fast := delayFor(30)
+	slow := delayFor(200)
+	if slow-fast < 5 {
+		t.Errorf("buffer delay slew dependence too weak: fast=%v slow=%v", fast, slow)
+	}
+}
+
+func TestCurveVsRampShiftsDownstreamResponse(t *testing.T) {
+	// Figure 3.2: a curve and a ramp stimulus of equal 10-90% slew, applied at
+	// the same instant, shift the response measured after a buffer, a wire and
+	// a load buffer.  The paper reports a 32 ps shift for a 150 ps slew; the
+	// behavioural device model reproduces the effect with a smaller magnitude.
+	tt := tech.Default()
+	buf := tt.Buffers[1]
+	measure := func(shape StimulusShape) (absCross, delay float64) {
+		net := circuit.New()
+		src := net.AddSource("clk", tt.SourceDriveRes)
+		bOut := net.AddBuffer("bin", buf, src)
+		end := net.AddWire(tt, bOut, 800, 100)
+		lOut := net.AddBuffer("bload", buf, end)
+		net.AddSink("load", lOut, 30)
+		res, err := Simulate(net, tt, Options{Shape: shape, SourceSlew: 150})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, ok := res.Waveform(lOut)
+		if !ok {
+			t.Fatal("no waveform at load buffer output")
+		}
+		cross, err := w.CrossingTime(tt.SwitchingThreshold * tt.Vdd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := res.DelayTo(lOut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cross, d
+	}
+	crossCurve, dCurve := measure(StimulusCurve)
+	crossRamp, dRamp := measure(StimulusRamp)
+	// Onset-aligned output waveforms are clearly shifted (the Figure 3.2 view).
+	if math.Abs(crossCurve-crossRamp) < 8 {
+		t.Errorf("onset-aligned output shift = %v ps; expected a clear shift", crossCurve-crossRamp)
+	}
+	// Even when each delay is referenced to its own input's 50%% crossing, the
+	// two shapes disagree: a ramp approximation mispredicts the delay.
+	if math.Abs(dCurve-dRamp) < 1 {
+		t.Errorf("50%%-referenced delay difference = %v ps; expected a measurable error", dCurve-dRamp)
+	}
+}
+
+func TestMultiStageTopologicalOrder(t *testing.T) {
+	tt := tech.Default()
+	net := circuit.New()
+	src := net.AddSource("clk", tt.SourceDriveRes)
+	b1 := net.AddBuffer("b1", tt.Buffers[2], src)
+	mid := net.AddWire(tt, b1, 600, 100)
+	b2 := net.AddBuffer("b2", tt.Buffers[0], mid)
+	end := net.AddWire(tt, b2, 400, 100)
+	net.AddSink("ff", end, tt.SinkCapDefault)
+	res, err := Simulate(net, tt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stages != 3 {
+		t.Errorf("Stages = %d, want 3", res.Stages)
+	}
+	// Delays must be strictly increasing along the chain.
+	var prev float64
+	for _, node := range []circuit.NodeID{src, b1, mid, b2, end} {
+		d, err := res.DelayTo(node)
+		if err != nil {
+			t.Fatalf("delay at %d: %v", node, err)
+		}
+		if d < prev-1e-9 {
+			t.Errorf("delay decreased along the path at node %d: %v after %v", node, d, prev)
+		}
+		prev = d
+	}
+	// The sink slew must be positive and finite.
+	s, err := res.SlewAt(end)
+	if err != nil || s <= 0 {
+		t.Errorf("sink slew = %v, err = %v", s, err)
+	}
+}
+
+func TestBranchSkewSymmetry(t *testing.T) {
+	// A perfectly symmetric branch must show (near) zero skew between the two
+	// sink waveforms.
+	tt := tech.Default()
+	net := circuit.New()
+	src := net.AddSource("clk", tt.SourceDriveRes)
+	b := net.AddBuffer("b", tt.Buffers[1], src)
+	left := net.AddWire(tt, b, 700, 100)
+	right := net.AddWire(tt, b, 700, 100)
+	net.AddSink("l", left, tt.SinkCapDefault)
+	net.AddSink("r", right, tt.SinkCapDefault)
+	res, err := Simulate(net, tt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dl, _ := res.DelayTo(left)
+	dr, _ := res.DelayTo(right)
+	if math.Abs(dl-dr) > 0.1 {
+		t.Errorf("symmetric branch skew = %v ps, want ~0", math.Abs(dl-dr))
+	}
+	// An asymmetric branch must favour the short side.
+	net2 := circuit.New()
+	src2 := net2.AddSource("clk", tt.SourceDriveRes)
+	b2 := net2.AddBuffer("b", tt.Buffers[1], src2)
+	short := net2.AddWire(tt, b2, 300, 100)
+	long := net2.AddWire(tt, b2, 1200, 100)
+	net2.AddSink("s", short, tt.SinkCapDefault)
+	net2.AddSink("l", long, tt.SinkCapDefault)
+	res2, err := Simulate(net2, tt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := res2.DelayTo(short)
+	dl2, _ := res2.DelayTo(long)
+	if dl2 <= ds {
+		t.Errorf("long branch (%v ps) should be slower than short branch (%v ps)", dl2, ds)
+	}
+}
+
+func TestSimulateErrors(t *testing.T) {
+	tt := tech.Default()
+	// No source.
+	net := circuit.New()
+	n := net.AddNode("a")
+	net.AddCap(n, 10)
+	if _, err := Simulate(net, tt, Options{}); err == nil {
+		t.Error("expected error for netlist without a source")
+	}
+	// Floating probed component: a sink not connected to any driver.
+	net2 := circuit.New()
+	net2.AddSource("clk", tt.SourceDriveRes)
+	orphan := net2.AddNode("orphan")
+	net2.AddSink("ff", orphan, 10)
+	if _, err := Simulate(net2, tt, Options{}); err == nil {
+		t.Error("expected error for floating sink")
+	}
+}
+
+func TestResultAccessorsUnknownNode(t *testing.T) {
+	tt := tech.Default()
+	net, load := buildLumpedRC(tt, 100)
+	res, err := Simulate(net, tt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Waveform(load); !ok {
+		t.Error("expected waveform at probed sink")
+	}
+	if _, err := res.DelayTo(circuit.NodeID(9999)); err == nil {
+		t.Error("expected error for unprobed node")
+	}
+	if _, err := res.SlewAt(circuit.NodeID(9999)); err == nil {
+		t.Error("expected error for unprobed node")
+	}
+}

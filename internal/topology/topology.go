@@ -1,0 +1,125 @@
+// Package topology implements the levelized topology generation of Section
+// 4.1.1: a nearest-neighbour graph over the current sub-tree roots with edge
+// cost alpha*distance + beta*|delay difference| (equation 4.1), a greedy
+// matching that repeatedly pairs the node farthest from the sink centroid
+// with its cheapest partner, and seed-node selection (the node with maximum
+// latency is carried unpaired into the next level when the count is odd).
+package topology
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Item is one candidate sub-tree root at the current level.
+type Item struct {
+	// Pos is the root location.
+	Pos geom.Point
+	// Delay is the root-to-sink latency of the sub-tree (its maximum delay).
+	Delay float64
+}
+
+// Pair is a matched pair of item indices to be merged at this level.
+type Pair struct {
+	A, B int
+}
+
+// Cost is the nearest-neighbour edge cost of equation 4.1.
+func Cost(a, b Item, alpha, beta float64) float64 {
+	return alpha*a.Pos.Manhattan(b.Pos) + beta*math.Abs(a.Delay-b.Delay)
+}
+
+// Match computes the greedy matching for one level.  It returns the matched
+// pairs and the index of the unmatched seed node (-1 when the count is even).
+// When the count is odd the seed is the item with the maximum delay, per the
+// paper's argument that next-level nodes have larger delays and the seed will
+// be easier to balance there.
+func Match(items []Item, alpha, beta float64) ([]Pair, int) {
+	n := len(items)
+	if n == 0 {
+		return nil, -1
+	}
+	if n == 1 {
+		return nil, 0
+	}
+	matched := make([]bool, n)
+	seed := -1
+	if n%2 == 1 {
+		seed = 0
+		for i := 1; i < n; i++ {
+			if items[i].Delay > items[seed].Delay {
+				seed = i
+			}
+		}
+		matched[seed] = true
+	}
+
+	// Centroid of the remaining items (the paper uses the sink centroid; at
+	// level 0 these coincide, and at higher levels the roots stand in for the
+	// sinks they cover).
+	var pts []geom.Point
+	for i, it := range items {
+		if !matched[i] {
+			pts = append(pts, it.Pos)
+		}
+	}
+	centroid := geom.Centroid(pts)
+
+	// Process unmatched items from farthest to closest to the centroid.
+	order := make([]int, 0, n)
+	for i := range items {
+		if !matched[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(x, y int) bool {
+		return items[order[x]].Pos.Manhattan(centroid) > items[order[y]].Pos.Manhattan(centroid)
+	})
+
+	var pairs []Pair
+	for _, i := range order {
+		if matched[i] {
+			continue
+		}
+		best, bestCost := -1, math.Inf(1)
+		for j := range items {
+			if j == i || matched[j] {
+				continue
+			}
+			if c := Cost(items[i], items[j], alpha, beta); c < bestCost {
+				best, bestCost = j, c
+			}
+		}
+		if best < 0 {
+			break
+		}
+		matched[i], matched[best] = true, true
+		pairs = append(pairs, Pair{A: i, B: best})
+	}
+	return pairs, seed
+}
+
+// TotalCost returns the total edge cost of a matching, used by tests and by
+// the H-structure re-estimation heuristic.
+func TotalCost(items []Item, pairs []Pair, alpha, beta float64) float64 {
+	var sum float64
+	for _, p := range pairs {
+		sum += Cost(items[p.A], items[p.B], alpha, beta)
+	}
+	return sum
+}
+
+// Levels estimates the number of levels a levelized bottom-up merge of n
+// sinks produces (ceil(log2 n)); it is used for reporting only.
+func Levels(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	levels := 0
+	for count := n; count > 1; count = (count + 1) / 2 {
+		levels++
+	}
+	return levels
+}

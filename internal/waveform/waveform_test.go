@@ -1,0 +1,145 @@
+package waveform
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRampSlewMatchesRequest(t *testing.T) {
+	for _, want := range []float64{20, 50, 100, 150, 300} {
+		w := Ramp(1.0, 10, want, 0.05, 10+want*2+50)
+		got, err := w.Slew(0.1, 0.9)
+		if err != nil {
+			t.Fatalf("slew %v: %v", want, err)
+		}
+		if math.Abs(got-want) > 0.02*want+0.2 {
+			t.Errorf("ramp slew = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCurveSlewMatchesRequest(t *testing.T) {
+	for _, want := range []float64{20, 50, 100, 150, 300} {
+		w := Curve(1.0, 10, want, 0.05, 10+want*6+100)
+		got, err := w.Slew(0.1, 0.9)
+		if err != nil {
+			t.Fatalf("slew %v: %v", want, err)
+		}
+		if math.Abs(got-want) > 0.03*want+0.3 {
+			t.Errorf("curve slew = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCurveAndRampDifferAtMidRail(t *testing.T) {
+	// Equal 10-90% slew but different shapes: the mid-rail crossing times must
+	// differ, which is the root cause of the 32 ps shift in Figure 3.2.
+	slew := 150.0
+	ramp := Ramp(1.0, 0, slew, 0.05, 1200)
+	curve := Curve(1.0, 0, slew, 0.05, 1200)
+	tr, err := ramp.CrossingTime(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := curve.CrossingTime(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr-tc) < 2 {
+		t.Errorf("expected distinguishable mid-rail crossings, got ramp=%v curve=%v", tr, tc)
+	}
+}
+
+func TestCrossingTimeInterpolates(t *testing.T) {
+	w := New([]float64{0, 10, 20}, []float64{0, 0.5, 1.0})
+	ct, err := w.CrossingTime(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ct-5) > 1e-9 {
+		t.Errorf("CrossingTime(0.25) = %v, want 5", ct)
+	}
+	if _, err := w.CrossingTime(1.5); err == nil {
+		t.Error("expected error for unreachable threshold")
+	}
+}
+
+func TestAtInterpolatesAndClamps(t *testing.T) {
+	w := New([]float64{0, 10}, []float64{0, 1})
+	if v := w.At(-5); v != 0 {
+		t.Errorf("At(-5) = %v", v)
+	}
+	if v := w.At(25); v != 1 {
+		t.Errorf("At(25) = %v", v)
+	}
+	if v := w.At(5); math.Abs(v-0.5) > 1e-12 {
+		t.Errorf("At(5) = %v", v)
+	}
+}
+
+func TestDelayBetweenShiftedRamps(t *testing.T) {
+	a := Ramp(1.0, 0, 100, 0.1, 600)
+	b := Ramp(1.0, 37, 100, 0.1, 600)
+	d, err := Delay(a, b, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-37) > 0.3 {
+		t.Errorf("Delay = %v, want 37", d)
+	}
+}
+
+func TestSlewErrors(t *testing.T) {
+	w := Ramp(1.0, 0, 100, 0.1, 600)
+	if _, err := w.Slew(0.9, 0.1); err == nil {
+		t.Error("expected error for inverted thresholds")
+	}
+	flat := New([]float64{0, 1}, []float64{0, 0.05})
+	if _, err := flat.Slew(0.1, 0.9); err == nil {
+		t.Error("expected error for waveform that never rises")
+	}
+}
+
+func TestWaveformMonotoneProperty(t *testing.T) {
+	// For any requested slew, the generated ramp and curve are monotonically
+	// non-decreasing and bounded by [0, vdd].
+	f := func(seed uint8) bool {
+		slew := 20 + float64(seed)
+		for _, w := range []*Waveform{
+			Ramp(1.0, 5, slew, 0.5, slew*6+20),
+			Curve(1.0, 5, slew, 0.5, slew*6+20),
+		} {
+			prev := -1e-9
+			for _, v := range w.Values {
+				if v < prev-1e-9 || v < -1e-9 || v > 1+1e-9 {
+					return false
+				}
+				prev = v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStep(t *testing.T) {
+	w := Step(1.0, 10, 1, 50)
+	if v := w.At(5); v != 0 {
+		t.Errorf("step before edge = %v", v)
+	}
+	if v := w.At(20); v != 1 {
+		t.Errorf("step after edge = %v", v)
+	}
+}
+
+func TestNewPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for mismatched slices")
+		}
+	}()
+	New([]float64{1, 2}, []float64{1})
+}

@@ -7,6 +7,10 @@
 package repro
 
 import (
+	"strconv"
+
+	"context"
+
 	"testing"
 
 	"repro/internal/bench"
@@ -16,6 +20,7 @@ import (
 	"repro/internal/eval"
 	"repro/internal/spice"
 	"repro/internal/tech"
+	"repro/pkg/cts"
 )
 
 // benchConfig is the shared scaled-down experiment configuration.
@@ -35,7 +40,7 @@ func BenchmarkTable51GSRC(b *testing.B) {
 	cfg := benchConfig(b)
 	cfg.Benchmarks = []string{"r1", "r2"}
 	for i := 0; i < b.N; i++ {
-		table, err := eval.Table51(cfg)
+		table, err := eval.Table51(context.Background(), cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -52,7 +57,7 @@ func BenchmarkTable52ISPD(b *testing.B) {
 	cfg := benchConfig(b)
 	cfg.Benchmarks = []string{"f11", "f22"}
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.Table52(cfg); err != nil {
+		if _, err := eval.Table52(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -65,7 +70,7 @@ func BenchmarkTable53HStructure(b *testing.B) {
 	cfg.MaxSinks = 24
 	cfg.Benchmarks = []string{"f22"}
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.Table53(cfg); err != nil {
+		if _, err := eval.Table53(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -75,7 +80,7 @@ func BenchmarkTable53HStructure(b *testing.B) {
 func BenchmarkFigure11SlewVsLength(b *testing.B) {
 	cfg := benchConfig(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.Figure11(cfg, nil); err != nil {
+		if _, err := eval.Figure11(context.Background(), cfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -85,7 +90,7 @@ func BenchmarkFigure11SlewVsLength(b *testing.B) {
 func BenchmarkFigure32CurveVsRamp(b *testing.B) {
 	cfg := benchConfig(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.Figure32(cfg); err != nil {
+		if _, err := eval.Figure32(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -95,7 +100,7 @@ func BenchmarkFigure32CurveVsRamp(b *testing.B) {
 func BenchmarkFigure34IntrinsicDelaySurface(b *testing.B) {
 	cfg := benchConfig(b)
 	for i := 0; i < b.N; i++ {
-		if _, err := eval.Figure34(cfg, "BUF_X10"); err != nil {
+		if _, err := eval.Figure34(context.Background(), cfg, "BUF_X10"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -105,7 +110,7 @@ func BenchmarkFigure34IntrinsicDelaySurface(b *testing.B) {
 func BenchmarkFigure36BranchDelays(b *testing.B) {
 	cfg := benchConfig(b)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := eval.Figure36and37(cfg, "BUF_X30"); err != nil {
+		if _, _, err := eval.Figure36and37(context.Background(), cfg, "BUF_X30"); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -250,5 +255,35 @@ func BenchmarkTransientVerification(b *testing.B) {
 		if _, err := clocktree.Verify(res.Tree, spice.Options{TimeStep: 2}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRunBatchWorkers measures the pkg/cts batch surface: three scaled
+// GSRC benchmarks synthesized over worker pools of different widths.  The
+// single-worker case is the sequential baseline.
+func BenchmarkRunBatchWorkers(b *testing.B) {
+	t := tech.Default()
+	flow, err := cts.New(t, cts.WithLibrary(charlib.NewAnalytic(t)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var items []cts.BatchItem
+	for _, name := range []string{"r1", "r2", "r3"} {
+		bm, err := bench.SyntheticScaled(name, 48)
+		if err != nil {
+			b.Fatal(err)
+		}
+		items = append(items, cts.BatchItem{Name: bm.Name, Sinks: bm.Sinks})
+	}
+	for _, workers := range []int{1, 3} {
+		b.Run("workers_"+strconv.Itoa(workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, br := range flow.RunBatch(context.Background(), items, workers) {
+					if br.Err != nil {
+						b.Fatal(br.Err)
+					}
+				}
+			}
+		})
 	}
 }

@@ -1,26 +1,32 @@
 // Command cts synthesizes a buffered clock tree for a benchmark (a named
 // synthetic benchmark or a sink file) and reports the library-estimated and
-// simulated worst slew, skew and latency.
+// simulated worst slew, skew and latency.  It drives the repro/pkg/cts
+// pipeline API; interrupting the process (Ctrl-C) cancels the run.
 //
 // Usage:
 //
 //	cts -bench r1                      # synthetic GSRC r1
 //	cts -file mysinks.txt -slew 100    # sink-list or ISPD-style file
 //	cts -bench f11 -correction full -deck tree.sp
+//	cts -bench r2 -json                # machine-readable cts.Result JSON
+//	cts -bench r3 -progress            # per-stage pipeline progress on stderr
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 
 	"repro/internal/bench"
 	"repro/internal/charlib"
 	"repro/internal/clocktree"
-	"repro/internal/core"
 	"repro/internal/spice"
 	"repro/internal/tech"
+	"repro/pkg/cts"
 )
 
 func main() {
@@ -38,8 +44,13 @@ func main() {
 		libPath    = flag.String("lib", "", "load a previously characterized library (JSON)")
 		deck       = flag.String("deck", "", "write the synthesized tree as a SPICE-style deck to this file")
 		noVerify   = flag.Bool("no-verify", false, "skip the transient verification")
+		jsonOut    = flag.Bool("json", false, "print the cts.Result JSON instead of the human-readable report")
+		progress   = flag.Bool("progress", false, "print per-stage pipeline progress to stderr")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	t := tech.Default()
 
@@ -59,42 +70,53 @@ func main() {
 		log.Fatal(err)
 	}
 
-	mode := core.CorrectionNone
-	switch *correction {
-	case "none":
-	case "reestimate":
-		mode = core.CorrectionReEstimate
-	case "full":
-		mode = core.CorrectionFull
-	default:
-		log.Fatalf("unknown correction mode %q", *correction)
+	mode, err := cts.ParseCorrection(*correction)
+	if err != nil {
+		log.Fatalf("unknown correction mode %q (want none, reestimate, full)", *correction)
 	}
 
-	fmt.Printf("benchmark %s: %d sinks, die %.1f x %.1f mm\n",
-		bm.Name, len(bm.Sinks), bm.Die.Width()/1000, bm.Die.Height()/1000)
-
-	res, err := core.Synthesize(t, bm.Sinks, core.Options{
-		Library:    lib,
-		SlewLimit:  *slewLimit,
-		GridSize:   *gridSize,
-		Correction: mode,
-	})
+	opts := []cts.Option{
+		cts.WithLibrary(lib),
+		cts.WithSlewLimit(*slewLimit),
+		cts.WithGrid(*gridSize),
+		cts.WithCorrection(mode),
+	}
+	if !*noVerify {
+		opts = append(opts, cts.WithVerification(spice.Options{TimeStep: 1}))
+	}
+	if *progress {
+		opts = append(opts, cts.WithObserver(printProgress))
+	}
+	flow, err := cts.New(t, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("synthesis: %d buffers (%v), %.2f mm wire, %d levels, %d flippings\n",
-		res.Stats.Buffers, res.Stats.BuffersBySize, res.Stats.TotalWire/1000, res.Levels, res.Flippings)
-	fmt.Printf("library timing: worst slew %.1f ps, skew %.1f ps, latency %.1f ps\n",
-		res.Timing.WorstSlew, res.Timing.Skew, res.Timing.MaxLatency)
+	if !*jsonOut {
+		fmt.Printf("benchmark %s: %d sinks, die %.1f x %.1f mm\n",
+			bm.Name, len(bm.Sinks), bm.Die.Width()/1000, bm.Die.Height()/1000)
+	}
 
-	if !*noVerify {
-		vr, err := res.Verify(&spice.Options{TimeStep: 1})
+	res, err := flow.Run(ctx, bm.Sinks)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *jsonOut {
+		out, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("simulation:     worst slew %.1f ps, skew %.1f ps, latency %.1f ps (%d stages)\n",
-			vr.WorstSlew, vr.Skew, vr.MaxLatency, vr.Stages)
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("synthesis: %d buffers (%v), %.2f mm wire, %d levels, %d flippings\n",
+			res.Stats.Buffers, res.Stats.BuffersBySize, res.Stats.TotalWire/1000, res.Levels, res.Flippings)
+		fmt.Printf("library timing: worst slew %.1f ps, skew %.1f ps, latency %.1f ps\n",
+			res.Timing.WorstSlew, res.Timing.Skew, res.Timing.MaxLatency)
+		if res.Verification != nil {
+			fmt.Printf("simulation:     worst slew %.1f ps, skew %.1f ps, latency %.1f ps (%d stages)\n",
+				res.Verification.WorstSlew, res.Verification.Skew, res.Verification.MaxLatency, res.Verification.Stages)
+		}
 	}
 
 	if *deck != "" {
@@ -105,7 +127,30 @@ func main() {
 		if err := os.WriteFile(*deck, []byte(net.SpiceDeck(bm.Name)), 0o644); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote deck to %s\n", *deck)
+		if !*jsonOut {
+			fmt.Printf("wrote deck to %s\n", *deck)
+		}
+	}
+}
+
+// printProgress renders pipeline events as one stderr line each.
+func printProgress(e cts.Event) {
+	switch e.Kind {
+	case cts.EventFlowStart:
+		fmt.Fprintf(os.Stderr, "flow: start (%d sinks)\n", e.Sinks)
+	case cts.EventLevelDone:
+		fmt.Fprintf(os.Stderr, "flow: level %d done: %d pairs merged, %d flippings, %d sub-trees left (%v)\n",
+			e.Level, e.Pairs, e.Flips, e.Subtrees, e.Elapsed.Round(1e6))
+	case cts.EventStageEnd:
+		if e.Level == 0 { // whole-flow stages; per-level stages are covered by level-done
+			fmt.Fprintf(os.Stderr, "flow: stage %s done (%v)\n", e.Stage, e.Elapsed.Round(1e6))
+		}
+	case cts.EventFlowEnd:
+		if e.Err != nil {
+			fmt.Fprintf(os.Stderr, "flow: failed after %v: %v\n", e.Elapsed.Round(1e6), e.Err)
+		} else {
+			fmt.Fprintf(os.Stderr, "flow: done in %v\n", e.Elapsed.Round(1e6))
+		}
 	}
 }
 

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -32,12 +35,16 @@ func main() {
 		analytic = flag.Bool("analytic", false, "use the closed-form library instead of characterizing")
 		libPath  = flag.String("lib", "", "load a previously characterized library (JSON)")
 		simStep  = flag.Float64("sim-step", 1, "verification time step in ps")
+		workers  = flag.Int("workers", 0, "concurrent benchmark synthesis workers (0 = GOMAXPROCS)")
 		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: the table's full suite)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	t := tech.Default()
-	cfg := eval.Config{Tech: t, MaxSinks: *maxSinks, SimStep: *simStep}
+	cfg := eval.Config{Tech: t, MaxSinks: *maxSinks, SimStep: *simStep, Workers: *workers}
 	if *libPath != "" {
 		lib, err := charlib.Load(*libPath, t)
 		if err != nil {
@@ -70,7 +77,7 @@ func main() {
 	}
 
 	run("fig1.1", func() error {
-		points, err := eval.Figure11(cfg, nil)
+		points, err := eval.Figure11(ctx, cfg, nil)
 		if err != nil {
 			return err
 		}
@@ -78,7 +85,7 @@ func main() {
 		return nil
 	})
 	run("fig3.2", func() error {
-		res, err := eval.Figure32(cfg)
+		res, err := eval.Figure32(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -86,7 +93,7 @@ func main() {
 		return nil
 	})
 	run("fig3.4", func() error {
-		samples, err := eval.Figure34(cfg, "BUF_X10")
+		samples, err := eval.Figure34(ctx, cfg, "BUF_X10")
 		if err != nil {
 			return err
 		}
@@ -94,7 +101,7 @@ func main() {
 		return nil
 	})
 	run("fig3.6", func() error {
-		left, right, err := eval.Figure36and37(cfg, "BUF_X30")
+		left, right, err := eval.Figure36and37(ctx, cfg, "BUF_X30")
 		if err != nil {
 			return err
 		}
@@ -103,7 +110,7 @@ func main() {
 		return nil
 	})
 	run("table5.1", func() error {
-		table, err := eval.Table51(cfg)
+		table, err := eval.Table51(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -111,7 +118,7 @@ func main() {
 		return nil
 	})
 	run("table5.2", func() error {
-		table, err := eval.Table52(cfg)
+		table, err := eval.Table52(ctx, cfg)
 		if err != nil {
 			return err
 		}
@@ -119,7 +126,7 @@ func main() {
 		return nil
 	})
 	run("table5.3", func() error {
-		table, err := eval.Table53(cfg)
+		table, err := eval.Table53(ctx, cfg)
 		if err != nil {
 			return err
 		}

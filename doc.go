@@ -1,0 +1,21 @@
+// Package repro reproduces conf_dac_ChenDC10's buffered slew-constrained
+// clock tree synthesis flow.
+//
+// The public entry point is repro/pkg/cts, a staged, composable synthesis
+// pipeline (topology -> merge-route -> buffering -> timing -> verify) with
+// context cancellation, progress observation and concurrent batch execution.
+// The internal packages implement the individual algorithm stages:
+//
+//   - internal/topology: levelized nearest-neighbour pairing (Section 4.1.1)
+//   - internal/mergeroute: balance / maze-route / binary-search merging with
+//     aggressive buffer insertion (Section 4.2)
+//   - internal/clocktree: the tree data structure, library-based timing
+//     analysis and transient verification
+//   - internal/charlib: the characterized delay/slew library (Chapter 3)
+//   - internal/spice: the golden transient simulator
+//   - internal/eval: the paper's tables and figures (Chapter 5)
+//
+// The root package holds no code of its own; it is the home of the top-level
+// benchmark suite (bench_test.go), which regenerates every experiment of the
+// paper on scaled-down sink sets.
+package repro

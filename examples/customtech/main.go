@@ -1,18 +1,19 @@
 // Custom technology: define your own wire parasitics and buffer library,
 // characterize it, and synthesize under a tighter slew limit.  This is what a
-// downstream user would do to retarget the flow to a different process or
-// metal stack.
+// downstream user would do to retarget the repro/pkg/cts flow to a different
+// process or metal stack.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
 
 	"repro/internal/charlib"
-	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/tech"
+	"repro/pkg/cts"
 )
 
 func main() {
@@ -42,16 +43,20 @@ func main() {
 	fmt.Printf("characterized custom technology %q (%d component families)\n", t.Name, len(lib.Single))
 
 	// A ring of sinks around a hard macro, synthesized under a 70 ps limit.
-	var sinks []core.Sink
+	var sinks []cts.Sink
 	for i := 0; i < 12; i++ {
 		angle := 2 * math.Pi * float64(i) / 12
-		sinks = append(sinks, core.Sink{
+		sinks = append(sinks, cts.Sink{
 			Name: fmt.Sprintf("ff_%02d", i),
 			Pos:  geom.Pt(3000+2500*math.Cos(angle), 3000+2500*math.Sin(angle)),
 			Cap:  18,
 		})
 	}
-	res, err := core.Synthesize(t, sinks, core.Options{Library: lib, SlewLimit: 70})
+	flow, err := cts.New(t, cts.WithLibrary(lib), cts.WithSlewLimit(70))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := flow.Run(context.Background(), sinks)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 // GSRC flow: the full paper pipeline on one GSRC-class benchmark — build the
-// characterized delay/slew library with the transient simulator, synthesize
-// the r1-equivalent benchmark under aggressive buffer insertion, verify it,
-// and compare against the merge-node-only buffered baseline (the restricted
-// policy of Table 5.1's comparison columns).
+// characterized delay/slew library with the transient simulator, assemble a
+// cts.Flow with the verify stage enabled, synthesize the r1-equivalent
+// benchmark under aggressive buffer insertion, and compare against the
+// merge-node-only buffered baseline (the restricted policy of Table 5.1's
+// comparison columns).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -13,14 +15,15 @@ import (
 	"repro/internal/bench"
 	"repro/internal/charlib"
 	"repro/internal/clocktree"
-	"repro/internal/core"
 	"repro/internal/dme"
 	"repro/internal/spice"
 	"repro/internal/tech"
+	"repro/pkg/cts"
 )
 
 func main() {
 	t := tech.Default()
+	ctx := context.Background()
 
 	fmt.Println("step 1: characterizing the delay/slew library (Chapter 3)...")
 	start := time.Now()
@@ -37,24 +40,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Println("step 3: buffered clock tree synthesis (Chapter 4)...")
-	start = time.Now()
-	res, err := core.Synthesize(t, bm.Sinks, core.Options{Library: lib, SlewLimit: 100})
+	fmt.Println("step 3: buffered clock tree synthesis + verification (Chapters 4 and 5)...")
+	flow, err := cts.New(t,
+		cts.WithLibrary(lib),
+		cts.WithSlewLimit(100),
+		cts.WithVerification(spice.Options{TimeStep: 1}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := flow.Run(ctx, bm.Sinks)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  %d buffers, %.1f mm wire in %v\n",
-		res.Stats.Buffers, res.Stats.TotalWire/1000, time.Since(start).Round(time.Millisecond))
-
-	fmt.Println("step 4: transient verification (Chapter 5)...")
-	vr, err := res.Verify(&spice.Options{TimeStep: 1})
-	if err != nil {
-		log.Fatal(err)
-	}
+		res.Stats.Buffers, res.Stats.TotalWire/1000, res.Elapsed.Round(time.Millisecond))
+	vr := res.Verification
 	fmt.Printf("  worst slew %.1f ps (limit 100), skew %.1f ps, latency %.1f ps\n",
 		vr.WorstSlew, vr.Skew, vr.MaxLatency)
 
-	fmt.Println("step 5: restricted baseline (buffers only at merge nodes)...")
+	fmt.Println("step 4: restricted baseline (buffers only at merge nodes)...")
 	baseSinks := make([]dme.Sink, len(bm.Sinks))
 	for i, s := range bm.Sinks {
 		baseSinks[i] = dme.Sink{Name: s.Name, Pos: s.Pos, Cap: s.Cap}

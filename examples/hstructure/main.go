@@ -1,17 +1,19 @@
 // H-structure correction study (Section 4.1.2 / Table 5.3): synthesize one
 // benchmark with the original algorithm, with pairing re-estimation (Method
 // 1) and with full correction (Method 2), and report how the verified skew
-// changes and how many pairings were flipped.
+// changes and how many pairings were flipped.  Each mode is one cts.Flow
+// differing only in its WithCorrection option.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/bench"
-	"repro/internal/core"
 	"repro/internal/spice"
 	"repro/internal/tech"
+	"repro/pkg/cts"
 )
 
 func main() {
@@ -23,20 +25,25 @@ func main() {
 	fmt.Printf("benchmark %s: %d sinks\n\n", bm.Name, len(bm.Sinks))
 
 	type outcome struct {
-		mode core.CorrectionMode
+		mode cts.Correction
 		skew float64
 		flip int
 	}
+	ctx := context.Background()
 	var results []outcome
-	for _, mode := range []core.CorrectionMode{core.CorrectionNone, core.CorrectionReEstimate, core.CorrectionFull} {
-		res, err := core.Synthesize(t, bm.Sinks, core.Options{Correction: mode})
+	for _, mode := range []cts.Correction{cts.CorrectionNone, cts.CorrectionReEstimate, cts.CorrectionFull} {
+		flow, err := cts.New(t,
+			cts.WithCorrection(mode),
+			cts.WithVerification(spice.Options{TimeStep: 1}),
+		)
 		if err != nil {
 			log.Fatal(err)
 		}
-		vr, err := res.Verify(&spice.Options{TimeStep: 1})
+		res, err := flow.Run(ctx, bm.Sinks)
 		if err != nil {
 			log.Fatal(err)
 		}
+		vr := res.Verification
 		results = append(results, outcome{mode: mode, skew: vr.Skew, flip: res.Flippings})
 		fmt.Printf("%-14s skew %.1f ps, worst slew %.1f ps, flippings %d\n",
 			mode.String()+":", vr.Skew, vr.WorstSlew, res.Flippings)

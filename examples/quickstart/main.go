@@ -1,22 +1,36 @@
 // Quickstart: synthesize a buffered clock tree for a handful of flip-flops
-// and print its timing.  This is the smallest complete use of the public API:
-// build a technology, place sinks, synthesize, verify.
+// and print its timing.  This is the smallest complete use of the public
+// repro/pkg/cts API: build a technology, assemble a Flow, place sinks, run,
+// verify.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/tech"
+	"repro/pkg/cts"
 )
 
 func main() {
 	t := tech.Default()
 
+	// Assemble the pipeline with the default options: 100 ps slew limit,
+	// 80 ps synthesis target, analytic delay/slew library.  The observer
+	// prints one line per synthesis level as the tree folds up.
+	flow, err := cts.New(t, cts.WithObserver(func(e cts.Event) {
+		if e.Kind == cts.EventLevelDone {
+			fmt.Printf("  level %d: %d pairs merged, %d sub-trees left\n", e.Level, e.Pairs, e.Subtrees)
+		}
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Eight flip-flops scattered over a 4 x 4 mm block.
-	sinks := []core.Sink{
+	sinks := []cts.Sink{
 		{Name: "ff_a", Pos: geom.Pt(200, 300)},
 		{Name: "ff_b", Pos: geom.Pt(3800, 150)},
 		{Name: "ff_c", Pos: geom.Pt(3500, 3900)},
@@ -27,9 +41,7 @@ func main() {
 		{Name: "ff_h", Pos: geom.Pt(600, 1800)},
 	}
 
-	// Synthesize with the default options: 100 ps slew limit, 80 ps synthesis
-	// target, analytic delay/slew library.
-	res, err := core.Synthesize(t, sinks, core.Options{})
+	res, err := flow.Run(context.Background(), sinks)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +50,7 @@ func main() {
 	fmt.Printf("  buffers inserted: %d %v\n", res.Stats.Buffers, res.Stats.BuffersBySize)
 	fmt.Printf("  total wire:       %.2f mm\n", res.Stats.TotalWire/1000)
 	fmt.Printf("  estimated skew:   %.1f ps\n", res.Timing.Skew)
-	fmt.Printf("  estimated slew:   %.1f ps (limit %.0f ps)\n", res.Timing.WorstSlew, res.Options.SlewLimit)
+	fmt.Printf("  estimated slew:   %.1f ps (limit %.0f ps)\n", res.Timing.WorstSlew, res.Settings.SlewLimit)
 
 	// Golden check with the transient simulator (the reproduction's SPICE).
 	vr, err := res.Verify(nil)

@@ -22,8 +22,8 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/geom"
+	"repro/pkg/cts"
 )
 
 // Benchmark is one named sink set.
@@ -31,7 +31,7 @@ type Benchmark struct {
 	// Name is the benchmark identifier (e.g. "r1", "f11").
 	Name string
 	// Sinks are the clock sinks.
-	Sinks []core.Sink
+	Sinks []cts.Sink
 	// Die is the placement region.
 	Die geom.Rect
 }
@@ -107,7 +107,7 @@ func SyntheticScaled(name string, maxSinks int) (Benchmark, error) {
 	rng := rand.New(rand.NewSource(int64(len(b.Sinks))))
 	idx := rng.Perm(len(b.Sinks))[:maxSinks]
 	sort.Ints(idx)
-	sinks := make([]core.Sink, 0, maxSinks)
+	sinks := make([]cts.Sink, 0, maxSinks)
 	for _, i := range idx {
 		sinks = append(sinks, b.Sinks[i])
 	}
@@ -122,7 +122,7 @@ func SyntheticScaled(name string, maxSinks int) (Benchmark, error) {
 func generate(s spec) Benchmark {
 	rng := rand.New(rand.NewSource(s.seed))
 	die := geom.NewRect(geom.Pt(0, 0), geom.Pt(s.die, s.die))
-	sinks := make([]core.Sink, 0, s.sinks)
+	sinks := make([]cts.Sink, 0, s.sinks)
 
 	clusters := 4 + rng.Intn(4)
 	centers := make([]geom.Point, clusters)
@@ -143,7 +143,7 @@ func generate(s spec) Benchmark {
 		// Sink capacitances vary modestly around the default, as in real
 		// designs where flip-flop sizes differ.
 		capFF := 15 + rng.Float64()*15
-		sinks = append(sinks, core.Sink{
+		sinks = append(sinks, cts.Sink{
 			Name: fmt.Sprintf("%s_s%d", s.name, i),
 			Pos:  p,
 			Cap:  capFF,
@@ -183,7 +183,7 @@ func ParseSinkList(r io.Reader) (Benchmark, error) {
 				return Benchmark{}, fmt.Errorf("bench: line %d: bad capacitance: %w", line, err)
 			}
 		}
-		b.Sinks = append(b.Sinks, core.Sink{Name: fields[0], Pos: geom.Pt(x, y), Cap: capFF})
+		b.Sinks = append(b.Sinks, cts.Sink{Name: fields[0], Pos: geom.Pt(x, y), Cap: capFF})
 	}
 	if err := scanner.Err(); err != nil {
 		return Benchmark{}, err
@@ -246,7 +246,7 @@ func ParseISPD(r io.Reader) (Benchmark, error) {
 		if c < 1e-9 {
 			c *= 1e15
 		}
-		b.Sinks = append(b.Sinks, core.Sink{Name: "sink_" + fields[0], Pos: geom.Pt(x, y), Cap: c})
+		b.Sinks = append(b.Sinks, cts.Sink{Name: "sink_" + fields[0], Pos: geom.Pt(x, y), Cap: c})
 		remaining--
 	}
 	if err := scanner.Err(); err != nil {
@@ -298,7 +298,7 @@ func WriteSinkList(w io.Writer, b Benchmark) error {
 	return nil
 }
 
-func dieOf(sinks []core.Sink) geom.Rect {
+func dieOf(sinks []cts.Sink) geom.Rect {
 	pts := make([]geom.Point, len(sinks))
 	for i, s := range sinks {
 		pts[i] = s.Pos

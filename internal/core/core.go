@@ -1,74 +1,45 @@
-// Package core implements the paper's primary contribution: the top-level
-// buffered clock tree synthesis algorithm of Chapter 4 (Figure 4.1).  Given a
-// set of clock sinks, a buffer library and a single wire type, it builds a
-// clock tree whose slew is bounded everywhere by inserting and sizing buffers
-// along the routing paths (not only at merge nodes), while keeping the clock
-// skew low through levelized topology generation, merge-routing and accurate
-// library-based timing analysis.
+// Package core is the legacy entry point of the reproduction: the original
+// monolithic Synthesize call, kept as a thin compatibility wrapper over the
+// staged pipeline of repro/pkg/cts.  New code should use pkg/cts directly —
+// it adds context cancellation, progress observation, concurrent batch
+// execution and per-stage composability:
 //
-// This package is the public API of the reproduction:
+//	flow, _ := cts.New(tech.Default(), cts.WithLibrary(lib), cts.WithSlewLimit(100))
+//	result, err := flow.Run(ctx, sinks)
 //
-//	lib, _ := charlib.Characterize(tech.Default(), charlib.Config{})
-//	result, err := core.Synthesize(tech.Default(), sinks, core.Options{
-//	        Library:   lib,
-//	        SlewLimit: 100,
-//	})
-//	fmt.Println(result.Timing.Skew, result.Stats.Buffers)
+// The wrapper preserves the historical zero-value-magic Options struct and
+// produces bit-identical trees: it forwards the defaulted options to a
+// cts.Flow and runs it without cancellation.
 package core
 
 import (
-	"errors"
-	"fmt"
-	"math"
+	"context"
 
 	"repro/internal/charlib"
 	"repro/internal/clocktree"
 	"repro/internal/geom"
-	"repro/internal/mergeroute"
 	"repro/internal/spice"
 	"repro/internal/tech"
-	"repro/internal/topology"
+	"repro/pkg/cts"
 )
 
 // Sink is one clock sink to be driven by the synthesized tree.
-type Sink struct {
-	// Name identifies the sink (e.g. the flip-flop instance name).
-	Name string
-	// Pos is the sink location in micrometres.
-	Pos geom.Point
-	// Cap is the sink load capacitance in fF; zero selects the technology
-	// default.
-	Cap float64
-}
+type Sink = cts.Sink
 
 // CorrectionMode selects the H-structure handling of Section 4.1.2.
-type CorrectionMode int
+type CorrectionMode = cts.Correction
 
 const (
 	// CorrectionNone runs the original algorithm without re-examining
 	// grandchild pairings.
-	CorrectionNone CorrectionMode = iota
+	CorrectionNone = cts.CorrectionNone
 	// CorrectionReEstimate re-estimates the costs of the three possible
 	// grandchild pairings and re-pairs when a cheaper one exists (Method 1).
-	CorrectionReEstimate
+	CorrectionReEstimate = cts.CorrectionReEstimate
 	// CorrectionFull routes all three pairings and keeps the one with the
 	// lowest resulting skew (Method 2).
-	CorrectionFull
+	CorrectionFull = cts.CorrectionFull
 )
-
-// String implements fmt.Stringer.
-func (c CorrectionMode) String() string {
-	switch c {
-	case CorrectionNone:
-		return "none"
-	case CorrectionReEstimate:
-		return "re-estimation"
-	case CorrectionFull:
-		return "correction"
-	default:
-		return fmt.Sprintf("mode(%d)", int(c))
-	}
-}
 
 // Options configure a synthesis run.
 type Options struct {
@@ -132,247 +103,39 @@ func (r *Result) Verify(opt *spice.Options) (*clocktree.VerifyResult, error) {
 	return clocktree.Verify(r.Tree, o)
 }
 
-// Synthesize builds a buffered clock tree for the sinks.
+// Synthesize builds a buffered clock tree for the sinks by assembling and
+// running a cts.Flow with the equivalent configuration.
 func Synthesize(t *tech.Technology, sinks []Sink, opt Options) (*Result, error) {
-	if err := t.Validate(); err != nil {
-		return nil, err
-	}
-	if len(sinks) == 0 {
-		return nil, errors.New("core: no sinks")
-	}
 	opt = opt.withDefaults()
-	lib := opt.Library
-	if lib == nil {
-		lib = charlib.NewAnalytic(t)
+	flowOpts := []cts.Option{
+		cts.WithSlewLimit(opt.SlewLimit),
+		cts.WithSlewTarget(opt.SlewTarget),
+		cts.WithCostWeights(opt.Alpha, opt.Beta),
+		cts.WithCorrection(opt.Correction),
 	}
-	if opt.SlewTarget > opt.SlewLimit {
-		return nil, fmt.Errorf("core: slew target %v exceeds the limit %v", opt.SlewTarget, opt.SlewLimit)
+	if opt.Library != nil {
+		flowOpts = append(flowOpts, cts.WithLibrary(opt.Library))
 	}
-
-	merger, err := mergeroute.New(t, mergeroute.Config{
-		Lib:        lib,
-		SlewTarget: opt.SlewTarget,
-		GridSize:   opt.GridSize,
-	})
+	if opt.GridSize > 0 {
+		flowOpts = append(flowOpts, cts.WithGrid(opt.GridSize))
+	}
+	if opt.SourcePos != nil {
+		flowOpts = append(flowOpts, cts.WithSource(*opt.SourcePos))
+	}
+	flow, err := cts.New(t, flowOpts...)
 	if err != nil {
 		return nil, err
 	}
-
-	// Level 0: every sink is its own sub-tree.
-	current := make([]*mergeroute.Subtree, len(sinks))
-	seen := map[string]bool{}
-	for i, s := range sinks {
-		if s.Name == "" {
-			s.Name = fmt.Sprintf("sink_%d", i)
-		}
-		if seen[s.Name] {
-			return nil, fmt.Errorf("core: duplicate sink name %q", s.Name)
-		}
-		seen[s.Name] = true
-		loadCap := s.Cap
-		if loadCap <= 0 {
-			loadCap = t.SinkCapDefault
-		}
-		current[i] = mergeroute.SinkSubtree(s.Name, s.Pos, loadCap)
-	}
-
-	res := &Result{Options: opt}
-
-	// Levelized topology generation (Section 4.1.1).
-	for len(current) > 1 {
-		items := make([]topology.Item, len(current))
-		for i, st := range current {
-			items[i] = topology.Item{Pos: st.Pos(), Delay: st.MaxDelay}
-		}
-		pairs, seed := topology.Match(items, opt.Alpha, opt.Beta)
-		if len(pairs) == 0 {
-			return nil, errors.New("core: topology generation stalled")
-		}
-		next := make([]*mergeroute.Subtree, 0, len(pairs)+1)
-		if seed >= 0 {
-			next = append(next, current[seed])
-		}
-		for _, p := range pairs {
-			merged, flips, err := mergePair(merger, current[p.A], current[p.B], opt)
-			if err != nil {
-				return nil, err
-			}
-			res.Flippings += flips
-			next = append(next, merged)
-		}
-		current = next
-		res.Levels++
-	}
-
-	// Attach the clock source (with a buffered feed if it sits away from the
-	// tree root) and run the final timing analysis.
-	tree, err := attachSource(t, merger, current[0], opt.SourcePos)
+	res, err := flow.Run(context.Background(), sinks)
 	if err != nil {
 		return nil, err
 	}
-	timing, err := clocktree.Analyze(tree, lib, 0)
-	if err != nil {
-		return nil, err
-	}
-	res.Tree = tree
-	res.Timing = timing
-	res.Stats = tree.Stats()
-	return res, nil
-}
-
-// mergePair merges two sub-trees, applying the configured H-structure
-// handling when both sides are composite (Section 4.1.2, Figure 4.2).
-func mergePair(m *mergeroute.Merger, a, b *mergeroute.Subtree, opt Options) (*mergeroute.Subtree, int, error) {
-	composite := a.Children[0] != nil && a.Children[1] != nil && b.Children[0] != nil && b.Children[1] != nil
-	if opt.Correction == CorrectionNone || !composite {
-		merged, err := m.Merge(a, b)
-		return merged, 0, err
-	}
-
-	a1, a2 := a.Children[0], a.Children[1]
-	b1, b2 := b.Children[0], b.Children[1]
-	pairings := [3][2][2]*mergeroute.Subtree{
-		{{a1, a2}, {b1, b2}}, // original
-		{{a1, b1}, {a2, b2}},
-		{{a1, b2}, {a2, b1}},
-	}
-	// Trial merges overwrite the grandchild roots' attachment (parent link and
-	// wire length); remember the originals so the "keep the original pairing"
-	// outcome can restore them exactly.
-	originalWire := map[*clocktree.Node]float64{}
-	for _, gc := range []*mergeroute.Subtree{a1, a2, b1, b2} {
-		originalWire[gc.Root] = gc.Root.WireLen
-	}
-
-	best := 0
-	switch opt.Correction {
-	case CorrectionReEstimate:
-		// Method 1: compare pairings by the equation 4.1 cost of their edges.
-		bestCost := math.Inf(1)
-		for i, pairing := range pairings {
-			var cost float64
-			for _, pr := range pairing {
-				cost += topology.Cost(
-					topology.Item{Pos: pr[0].Pos(), Delay: pr[0].MaxDelay},
-					topology.Item{Pos: pr[1].Pos(), Delay: pr[1].MaxDelay},
-					opt.Alpha, opt.Beta)
-			}
-			if cost < bestCost {
-				best, bestCost = i, cost
-			}
-		}
-	case CorrectionFull:
-		// Method 2: actually merge-route every pairing and keep the one whose
-		// worse merge node has the lowest skew.
-		bestSkew := math.Inf(1)
-		for i, pairing := range pairings {
-			var worst float64
-			if i == 0 {
-				worst = math.Max(a.Skew(), b.Skew())
-			} else {
-				feasible := true
-				for _, pr := range pairing {
-					trial, err := m.Merge(pr[0], pr[1])
-					if err != nil {
-						feasible = false
-						break
-					}
-					worst = math.Max(worst, trial.Skew())
-				}
-				if !feasible {
-					continue
-				}
-			}
-			if worst < bestSkew {
-				best, bestSkew = i, worst
-			}
-		}
-	}
-
-	if best == 0 {
-		// Keep the original pairing: restore the grandchild attachments that
-		// trial merges may have overwritten, then merge the existing sub-trees.
-		mergeroute.Detach(a1, a2, b1, b2)
-		restore(a)
-		restore(b)
-		for _, gc := range []*mergeroute.Subtree{a1, a2, b1, b2} {
-			gc.Root.WireLen = originalWire[gc.Root]
-		}
-		merged, err := m.Merge(a, b)
-		return merged, 0, err
-	}
-
-	// Rebuild the winning pairing from scratch and merge its two halves.
-	mergeroute.Detach(a1, a2, b1, b2)
-	left, err := m.Merge(pairings[best][0][0], pairings[best][0][1])
-	if err != nil {
-		return nil, 0, err
-	}
-	right, err := m.Merge(pairings[best][1][0], pairings[best][1][1])
-	if err != nil {
-		return nil, 0, err
-	}
-	merged, err := m.Merge(left, right)
-	if err != nil {
-		return nil, 0, err
-	}
-	merged.Flipped = true
-	return merged, 1, nil
-}
-
-// restore re-establishes the parent links inside a composite sub-tree after
-// trial merges re-attached some of its descendants elsewhere.
-func restore(s *mergeroute.Subtree) {
-	var relink func(n *clocktree.Node)
-	relink = func(n *clocktree.Node) {
-		for _, c := range n.Children {
-			c.Parent = n
-			relink(c)
-		}
-	}
-	relink(s.Root)
-}
-
-// attachSource turns the final sub-tree into a complete clock tree.  When the
-// source location differs from the tree root, a buffered feed line is built
-// from the source to the root so the slew constraint holds on the feed as
-// well.
-func attachSource(t *tech.Technology, m *mergeroute.Merger, root *mergeroute.Subtree, sourcePos *geom.Point) (*clocktree.Tree, error) {
-	pos := root.Pos()
-	if sourcePos != nil {
-		pos = *sourcePos
-	}
-	tree := clocktree.New(t, pos)
-
-	dist := pos.Manhattan(root.Pos())
-	if dist < 1 {
-		tree.Root.AddChild(root.Root, dist)
-		return tree, tree.Validate()
-	}
-
-	// Build the feed with the largest buffer every maximum drivable span.
-	buf := t.LargestBuffer()
-	lib := charlib.NewAnalytic(t)
-	maxLen := lib.MaxWireLength(buf, root.LoadCap, m.SlewTarget(), m.SlewTarget())
-	if maxLen < 10 {
-		maxLen = 10
-	}
-	segments := int(math.Ceil(dist / maxLen))
-	parent := tree.Root
-	prev := pos
-	for i := 1; i <= segments; i++ {
-		frac := float64(i) / float64(segments)
-		p := geom.Segment{A: pos, B: root.Pos()}.PointAtRatio(frac)
-		var node *clocktree.Node
-		if i == segments {
-			node = root.Root
-		} else {
-			b := buf
-			node = &clocktree.Node{Name: "feed", Kind: clocktree.KindRouting, Pos: p, Buffer: &b}
-		}
-		parent.AddChild(node, prev.Manhattan(p))
-		parent = node
-		prev = p
-	}
-	return tree, tree.Validate()
+	return &Result{
+		Tree:      res.Tree,
+		Timing:    res.Timing,
+		Stats:     res.Stats,
+		Levels:    res.Levels,
+		Flippings: res.Flippings,
+		Options:   opt,
+	}, nil
 }

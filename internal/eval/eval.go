@@ -6,18 +6,21 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/bench"
 	"repro/internal/charlib"
 	"repro/internal/circuit"
 	"repro/internal/clocktree"
-	"repro/internal/core"
 	"repro/internal/dme"
 	"repro/internal/spice"
 	"repro/internal/tech"
+	"repro/pkg/cts"
 )
 
 // Config carries the shared experiment settings.
@@ -37,6 +40,9 @@ type Config struct {
 	// Benchmarks restricts the benchmark set (nil = the full suite of the
 	// corresponding table).
 	Benchmarks []string
+	// Workers bounds the cts.RunBatch worker pool that synthesizes the
+	// table benchmarks concurrently (0 = GOMAXPROCS).
+	Workers int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -85,7 +91,7 @@ type Table struct {
 }
 
 // Table51 regenerates Table 5.1 (GSRC benchmarks).
-func Table51(cfg Config) (*Table, error) {
+func Table51(ctx context.Context, cfg Config) (*Table, error) {
 	cfg2, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -94,11 +100,11 @@ func Table51(cfg Config) (*Table, error) {
 	if names == nil {
 		names = bench.GSRCNames()
 	}
-	return runTable(cfg2, "Table 5.1: GSRC benchmarks", names)
+	return runTable(ctx, cfg2, "Table 5.1: GSRC benchmarks", names)
 }
 
 // Table52 regenerates Table 5.2 (ISPD benchmarks).
-func Table52(cfg Config) (*Table, error) {
+func Table52(ctx context.Context, cfg Config) (*Table, error) {
 	cfg2, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -107,48 +113,104 @@ func Table52(cfg Config) (*Table, error) {
 	if names == nil {
 		names = bench.ISPDNames()
 	}
-	return runTable(cfg2, "Table 5.2: ISPD benchmarks", names)
+	return runTable(ctx, cfg2, "Table 5.2: ISPD benchmarks", names)
 }
 
-func runTable(cfg Config, title string, names []string) (*Table, error) {
-	out := &Table{Title: title}
+// loadBenchmarks resolves the named benchmarks into cts batch items.
+func loadBenchmarks(cfg Config, names []string) ([]bench.Benchmark, []cts.BatchItem, error) {
+	bms := make([]bench.Benchmark, 0, len(names))
+	items := make([]cts.BatchItem, 0, len(names))
 	for _, name := range names {
 		bm, err := bench.SyntheticScaled(name, cfg.MaxSinks)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		row, err := runBenchmark(cfg, bm)
-		if err != nil {
-			return nil, fmt.Errorf("eval: %s: %w", name, err)
+		bms = append(bms, bm)
+		items = append(items, cts.BatchItem{Name: bm.Name, Sinks: bm.Sinks})
+	}
+	return bms, items, nil
+}
+
+// tableFlow assembles the synthesis pipeline shared by the table
+// experiments, with the verify stage enabled so every batch result carries
+// its simulated timing.
+func tableFlow(cfg Config, extra ...cts.Option) (*cts.Flow, error) {
+	opts := append([]cts.Option{
+		cts.WithLibrary(cfg.Library),
+		cts.WithSlewLimit(cfg.SlewLimit),
+		cts.WithVerification(spice.Options{TimeStep: cfg.SimStep}),
+	}, extra...)
+	return cts.New(cfg.Tech, opts...)
+}
+
+func runTable(ctx context.Context, cfg Config, title string, names []string) (*Table, error) {
+	bms, items, err := loadBenchmarks(cfg, names)
+	if err != nil {
+		return nil, err
+	}
+	flow, err := tableFlow(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	// The per-benchmark DME baselines are independent of the main synthesis
+	// and of each other; fan them out over the same worker budget while the
+	// batch runs.
+	type baseOut struct {
+		skew, worstSlew float64
+		err             error
+	}
+	baselines := make([]baseOut, len(bms))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range bms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			b := &baselines[i]
+			b.skew, b.worstSlew, b.err = baseline(ctx, cfg, bms[i])
+		}(i)
+	}
+
+	batch := flow.RunBatch(ctx, items, cfg.Workers)
+	wg.Wait()
+
+	out := &Table{Title: title}
+	for i, br := range batch {
+		if br.Err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", br.Name, br.Err)
 		}
-		out.Rows = append(out.Rows, row)
+		if baselines[i].err != nil {
+			return nil, fmt.Errorf("eval: %s: %w", br.Name, baselines[i].err)
+		}
+		res, vr := br.Result, br.Result.Verification
+		out.Rows = append(out.Rows, TableRow{
+			Name:              br.Name,
+			Sinks:             len(bms[i].Sinks),
+			WorstSlew:         vr.WorstSlew,
+			Skew:              vr.Skew,
+			MaxLatency:        vr.MaxLatency,
+			Buffers:           res.Stats.Buffers,
+			WireLength:        res.Stats.TotalWire,
+			BaselineSkew:      baselines[i].skew,
+			BaselineWorstSlew: baselines[i].worstSlew,
+		})
 	}
 	return out, nil
 }
 
-func runBenchmark(cfg Config, bm bench.Benchmark) (TableRow, error) {
-	res, err := core.Synthesize(cfg.Tech, bm.Sinks, core.Options{
-		Library:   cfg.Library,
-		SlewLimit: cfg.SlewLimit,
-	})
-	if err != nil {
-		return TableRow{}, err
+// baseline synthesizes and verifies the merge-node-only buffered DME tree
+// (the comparison columns of Table 5.1).
+func baseline(ctx context.Context, cfg Config, bm bench.Benchmark) (skew, worstSlew float64, err error) {
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
 	}
-	vr, err := res.Verify(&spice.Options{TimeStep: cfg.SimStep})
-	if err != nil {
-		return TableRow{}, err
-	}
-	row := TableRow{
-		Name:       bm.Name,
-		Sinks:      len(bm.Sinks),
-		WorstSlew:  vr.WorstSlew,
-		Skew:       vr.Skew,
-		MaxLatency: vr.MaxLatency,
-		Buffers:    res.Stats.Buffers,
-		WireLength: res.Stats.TotalWire,
-	}
-
-	// Restricted baseline: buffers only at merge nodes.
 	baseSinks := make([]dme.Sink, len(bm.Sinks))
 	for i, s := range bm.Sinks {
 		capFF := s.Cap
@@ -159,15 +221,13 @@ func runBenchmark(cfg Config, bm bench.Benchmark) (TableRow, error) {
 	}
 	baseTree, err := dme.Synthesize(cfg.Tech, baseSinks, dme.Options{SlewLimit: cfg.SlewLimit * 0.8})
 	if err != nil {
-		return TableRow{}, fmt.Errorf("baseline: %w", err)
+		return 0, 0, fmt.Errorf("baseline: %w", err)
 	}
 	baseVR, err := clocktree.Verify(baseTree, spice.Options{TimeStep: cfg.SimStep})
 	if err != nil {
-		return TableRow{}, fmt.Errorf("baseline verify: %w", err)
+		return 0, 0, fmt.Errorf("baseline verify: %w", err)
 	}
-	row.BaselineSkew = baseVR.Skew
-	row.BaselineWorstSlew = baseVR.WorstSlew
-	return row, nil
+	return baseVR.Skew, baseVR.WorstSlew, nil
 }
 
 // Render produces the text form of the table.
@@ -209,8 +269,9 @@ type CorrectionTable struct {
 }
 
 // Table53 regenerates Table 5.3 over the given benchmarks (default: the full
-// 12-benchmark suite).
-func Table53(cfg Config) (*CorrectionTable, error) {
+// 12-benchmark suite).  Each correction mode gets its own flow; within a
+// mode the benchmarks synthesize concurrently.
+func Table53(ctx context.Context, cfg Config) (*CorrectionTable, error) {
 	cfg2, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -219,35 +280,38 @@ func Table53(cfg Config) (*CorrectionTable, error) {
 	if names == nil {
 		names = bench.AllNames()
 	}
-	out := &CorrectionTable{}
-	for _, name := range names {
-		bm, err := bench.SyntheticScaled(name, cfg2.MaxSinks)
+	bms, items, err := loadBenchmarks(cfg2, names)
+	if err != nil {
+		return nil, err
+	}
+
+	skews := map[cts.Correction][]float64{}
+	flippings := make([]int, len(bms))
+	for _, mode := range []cts.Correction{cts.CorrectionNone, cts.CorrectionReEstimate, cts.CorrectionFull} {
+		flow, err := tableFlow(cfg2, cts.WithCorrection(mode))
 		if err != nil {
 			return nil, err
 		}
-		row := CorrectionRow{Name: bm.Name}
-		skews := map[core.CorrectionMode]float64{}
-		for _, mode := range []core.CorrectionMode{core.CorrectionNone, core.CorrectionReEstimate, core.CorrectionFull} {
-			res, err := core.Synthesize(cfg2.Tech, bm.Sinks, core.Options{
-				Library:    cfg2.Library,
-				SlewLimit:  cfg2.SlewLimit,
-				Correction: mode,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("eval: %s %v: %w", name, mode, err)
+		for i, br := range flow.RunBatch(ctx, items, cfg2.Workers) {
+			if br.Err != nil {
+				return nil, fmt.Errorf("eval: %s %v: %w", br.Name, mode, br.Err)
 			}
-			vr, err := res.Verify(&spice.Options{TimeStep: cfg2.SimStep})
-			if err != nil {
-				return nil, err
-			}
-			skews[mode] = vr.Skew
-			if mode == core.CorrectionFull {
-				row.Flippings = res.Flippings
+			skews[mode] = append(skews[mode], br.Result.Verification.Skew)
+			if mode == cts.CorrectionFull {
+				flippings[i] = br.Result.Flippings
 			}
 		}
-		row.OriginalSkew = skews[core.CorrectionNone]
-		row.ReEstimateSkew = skews[core.CorrectionReEstimate]
-		row.CorrectionSkew = skews[core.CorrectionFull]
+	}
+
+	out := &CorrectionTable{}
+	for i, bm := range bms {
+		row := CorrectionRow{
+			Name:           bm.Name,
+			OriginalSkew:   skews[cts.CorrectionNone][i],
+			ReEstimateSkew: skews[cts.CorrectionReEstimate][i],
+			CorrectionSkew: skews[cts.CorrectionFull][i],
+			Flippings:      flippings[i],
+		}
 		if row.OriginalSkew > 0 {
 			row.ReEstimateRatio = (row.ReEstimateSkew - row.OriginalSkew) / row.OriginalSkew
 			row.CorrectionRatio = (row.CorrectionSkew - row.OriginalSkew) / row.OriginalSkew
@@ -295,7 +359,7 @@ type Figure11Point struct {
 // Figure11 sweeps wire length for 20X and 30X driving buffers and reports the
 // wire output slew, demonstrating that buffer upsizing alone cannot control
 // slew (Figure 1.1).
-func Figure11(cfg Config, lengths []float64) ([]Figure11Point, error) {
+func Figure11(ctx context.Context, cfg Config, lengths []float64) ([]Figure11Point, error) {
 	cfg2 := cfg
 	if cfg2.Tech == nil {
 		cfg2.Tech = tech.Default()
@@ -308,6 +372,9 @@ func Figure11(cfg Config, lengths []float64) ([]Figure11Point, error) {
 	b30, _ := t.BufferByName("BUF_X30")
 	var out []Figure11Point
 	for _, l := range lengths {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p := Figure11Point{Length: l}
 		for _, which := range []struct {
 			buf  tech.Buffer
@@ -361,7 +428,10 @@ type Figure32Result struct {
 
 // Figure32 drives the Binput -> wire -> Bload circuit of Figure 3.1 with a
 // curve and a ramp of equal slew and measures the response shift.
-func Figure32(cfg Config) (*Figure32Result, error) {
+func Figure32(ctx context.Context, cfg Config) (*Figure32Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg2 := cfg
 	if cfg2.Tech == nil {
 		cfg2.Tech = tech.Default()
@@ -424,7 +494,10 @@ type SurfaceSample struct {
 // Figure34 returns the buffer intrinsic delay surface samples of the
 // characterized library for the given driving buffer (Figure 3.4), evaluated
 // on a regular (input slew, wire length) grid.
-func Figure34(cfg Config, driveName string) ([]SurfaceSample, error) {
+func Figure34(ctx context.Context, cfg Config, driveName string) ([]SurfaceSample, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cfg2, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
@@ -447,7 +520,10 @@ func Figure34(cfg Config, driveName string) ([]SurfaceSample, error) {
 
 // Figure36and37 returns the left- and right-branch wire delay surfaces of the
 // branch library for the given driving buffer (Figures 3.6 and 3.7).
-func Figure36and37(cfg Config, driveName string) (left, right []SurfaceSample, err error) {
+func Figure36and37(ctx context.Context, cfg Config, driveName string) (left, right []SurfaceSample, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	cfg2, err := cfg.withDefaults()
 	if err != nil {
 		return nil, nil, err

@@ -1,6 +1,8 @@
 package eval
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -23,7 +25,7 @@ func smallConfig() Config {
 func TestTable51ShapeHolds(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Benchmarks = []string{"r1", "r2"}
-	table, err := Table51(cfg)
+	table, err := Table51(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +54,7 @@ func TestTable51ShapeHolds(t *testing.T) {
 func TestTable52RunsOnScaledISPD(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Benchmarks = []string{"f22"}
-	table, err := Table52(cfg)
+	table, err := Table52(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestTable53ReportsRatios(t *testing.T) {
 	cfg := smallConfig()
 	cfg.MaxSinks = 16
 	cfg.Benchmarks = []string{"f22"}
-	table, err := Table53(cfg)
+	table, err := Table53(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +91,7 @@ func TestTable53ReportsRatios(t *testing.T) {
 }
 
 func TestFigure11SlewGrowsAndUpsizingInsufficient(t *testing.T) {
-	points, err := Figure11(Config{}, []float64{500, 2000, 4000})
+	points, err := Figure11(context.Background(), Config{}, []float64{500, 2000, 4000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +114,7 @@ func TestFigure11SlewGrowsAndUpsizingInsufficient(t *testing.T) {
 }
 
 func TestFigure32ShiftMeasurable(t *testing.T) {
-	res, err := Figure32(Config{})
+	res, err := Figure32(context.Background(), Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +131,7 @@ func TestFigure32ShiftMeasurable(t *testing.T) {
 
 func TestFigure34And36Surfaces(t *testing.T) {
 	cfg := smallConfig()
-	samples, err := Figure34(cfg, "BUF_X10")
+	samples, err := Figure34(context.Background(), cfg, "BUF_X10")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +144,7 @@ func TestFigure34And36Surfaces(t *testing.T) {
 		t.Errorf("intrinsic delay should grow with input slew: %+v vs %+v", first, last)
 	}
 
-	left, right, err := Figure36and37(cfg, "BUF_X30")
+	left, right, err := Figure36and37(context.Background(), cfg, "BUF_X30")
 	if err != nil {
 		t.Fatal(err)
 	}

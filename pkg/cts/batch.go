@@ -1,0 +1,68 @@
+package cts
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// BatchItem is one named sink set of a batch run.
+type BatchItem struct {
+	// Name identifies the item (e.g. the benchmark name); it is echoed in
+	// results and observer events.
+	Name string
+	// Sinks are the clock sinks to synthesize.
+	Sinks []Sink
+}
+
+// BatchResult is the outcome of one batch item.  Exactly one of Result and
+// Err is non-nil.
+type BatchResult struct {
+	Name   string
+	Result *Result
+	Err    error
+}
+
+// RunBatch synthesizes every item concurrently over a bounded worker pool of
+// at most workers goroutines (workers <= 0 selects GOMAXPROCS).  Each run is
+// independent and deterministic, so the returned slice — always of
+// len(items), in input order — is identical to what sequential Run calls
+// would produce.  Cancelling the context aborts in-flight runs and marks the
+// remaining items with the context's error; per-item failures land in their
+// BatchResult without affecting the other items.
+func (f *Flow) RunBatch(ctx context.Context, items []BatchItem, workers int) []BatchResult {
+	results := make([]BatchResult, len(items))
+	if len(items) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				item := items[i]
+				if err := ctx.Err(); err != nil {
+					results[i] = BatchResult{Name: item.Name, Err: err}
+					continue
+				}
+				res, err := f.run(ctx, item.Name, item.Sinks)
+				results[i] = BatchResult{Name: item.Name, Result: res, Err: err}
+			}
+		}()
+	}
+	for i := range items {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,186 @@
+// Package cts is the public API of the reproduction: buffered,
+// slew-constrained clock tree synthesis (conf_dac_ChenDC10) exposed as a
+// staged, composable pipeline.
+//
+// A Flow runs five stages — topology pairing, merge-routing, source
+// buffering, timing analysis and (optionally) transient verification — and is
+// assembled from the TopologyBuilder, MergeRouter, Bufferer, Timer and
+// Verifier interfaces.  The defaults are backed by the internal/topology,
+// internal/mergeroute, internal/clocktree and internal/spice packages; any
+// stage can be swapped for instrumentation or experimentation.
+//
+// Quickstart:
+//
+//	flow, err := cts.New(tech.Default(),
+//	        cts.WithSlewLimit(100),
+//	        cts.WithCorrection(cts.CorrectionFull),
+//	)
+//	if err != nil { ... }
+//	res, err := flow.Run(ctx, []cts.Sink{
+//	        {Name: "ff_a", Pos: geom.Pt(200, 300)},
+//	        {Name: "ff_b", Pos: geom.Pt(3800, 150)},
+//	})
+//	fmt.Println(res.Timing.Skew, res.Stats.Buffers)
+//
+// Every run takes a context.Context, checked between stages and between the
+// individual merges of the per-level synthesis loop, so long runs cancel
+// promptly.  Progress is reported through an optional Observer (stage
+// start/end, per-level sub-tree counts, timings).  RunBatch executes many
+// sink sets concurrently over a bounded worker pool with deterministic,
+// input-ordered results, and Result marshals to JSON for service and CLI
+// interchange.
+package cts
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/clocktree"
+	"repro/internal/geom"
+	"repro/internal/mergeroute"
+)
+
+// Sink is one clock sink to be driven by the synthesized tree.
+type Sink struct {
+	// Name identifies the sink (e.g. the flip-flop instance name).
+	Name string
+	// Pos is the sink location in micrometres.
+	Pos geom.Point
+	// Cap is the sink load capacitance in fF; zero selects the technology
+	// default.
+	Cap float64
+}
+
+// Correction selects the H-structure handling of Section 4.1.2.
+type Correction int
+
+const (
+	// CorrectionNone runs the original algorithm without re-examining
+	// grandchild pairings.
+	CorrectionNone Correction = iota
+	// CorrectionReEstimate re-estimates the costs of the three possible
+	// grandchild pairings and re-pairs when a cheaper one exists (Method 1).
+	CorrectionReEstimate
+	// CorrectionFull routes all three pairings and keeps the one with the
+	// lowest resulting skew (Method 2).
+	CorrectionFull
+)
+
+// String implements fmt.Stringer.
+func (c Correction) String() string {
+	switch c {
+	case CorrectionNone:
+		return "none"
+	case CorrectionReEstimate:
+		return "re-estimation"
+	case CorrectionFull:
+		return "correction"
+	default:
+		return fmt.Sprintf("mode(%d)", int(c))
+	}
+}
+
+// token is the canonical machine-readable name used by JSON and flag values.
+func (c Correction) token() string {
+	switch c {
+	case CorrectionNone:
+		return "none"
+	case CorrectionReEstimate:
+		return "reestimate"
+	case CorrectionFull:
+		return "full"
+	default:
+		return fmt.Sprintf("mode(%d)", int(c))
+	}
+}
+
+// MarshalJSON encodes the mode as its canonical token ("none", "reestimate",
+// "full").
+func (c Correction) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + c.token() + `"`), nil
+}
+
+// UnmarshalJSON accepts any spelling ParseCorrection accepts.
+func (c *Correction) UnmarshalJSON(b []byte) error {
+	s := string(b)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		s = s[1 : len(s)-1]
+	}
+	mode, err := ParseCorrection(s)
+	if err != nil {
+		return err
+	}
+	*c = mode
+	return nil
+}
+
+// ParseCorrection parses a correction mode name as used by flags and JSON:
+// "none", "reestimate" (or "re-estimation") and "full" (or "correction").
+func ParseCorrection(s string) (Correction, error) {
+	switch s {
+	case "none", "":
+		return CorrectionNone, nil
+	case "reestimate", "re-estimation":
+		return CorrectionReEstimate, nil
+	case "full", "correction":
+		return CorrectionFull, nil
+	}
+	return CorrectionNone, fmt.Errorf("cts: unknown correction mode %q", s)
+}
+
+// Item summarizes one sub-tree root for topology pairing: its position and
+// its root-to-sink latency.
+type Item struct {
+	Pos   geom.Point
+	Delay float64
+}
+
+// Pairing is a matched pair of item indices to be merged at one level.
+type Pairing struct {
+	A, B int
+}
+
+// TopologyBuilder pairs the current level's sub-tree roots (Section 4.1.1).
+// Pair returns the matched index pairs and the index of the unmatched seed
+// item carried into the next level (-1 when the count is even).  The default
+// implementation is the greedy nearest-neighbour matching of
+// internal/topology with cost alpha*distance + beta*|delay difference|.
+type TopologyBuilder interface {
+	Pair(ctx context.Context, items []Item) (pairs []Pairing, seed int, err error)
+}
+
+// MergeRouter merges two sub-trees into one, constructing buffered routing
+// paths from both roots and choosing a slew-feasible, delay-balanced merge
+// node (Section 4.2).  flips reports how many grandchild pairings the
+// H-structure correction changed (0 without correction).  The default
+// implementation wraps internal/mergeroute with the configured correction
+// mode.
+//
+// A MergeRouter installed with WithMergeRouter is shared across the
+// concurrent runs of RunBatch and must be safe for concurrent use; the
+// default router is constructed fresh for every run.
+type MergeRouter interface {
+	Merge(ctx context.Context, a, b *mergeroute.Subtree) (merged *mergeroute.Subtree, flips int, err error)
+}
+
+// Bufferer completes the synthesized sub-tree into a full clock tree: it
+// places the clock source and, when the source sits away from the tree root,
+// builds a buffered feed line so the slew constraint holds on the feed as
+// well.  source is nil when the source coincides with the final tree root.
+type Bufferer interface {
+	AttachSource(ctx context.Context, root *mergeroute.Subtree, source *geom.Point) (*clocktree.Tree, error)
+}
+
+// Timer runs the final timing analysis over the completed tree.  The default
+// implementation is the library-based analysis of internal/clocktree
+// (Section 3.2.3).
+type Timer interface {
+	Analyze(ctx context.Context, tree *clocktree.Tree) (*clocktree.Timing, error)
+}
+
+// Verifier runs the golden transient simulation of the completed tree (the
+// paper's "SPICE simulation of the clock tree netlist").  The default
+// implementation is clocktree.Verify over internal/spice.
+type Verifier interface {
+	Verify(ctx context.Context, tree *clocktree.Tree) (*clocktree.VerifyResult, error)
+}

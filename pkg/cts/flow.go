@@ -1,0 +1,189 @@
+package cts
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/clocktree"
+	"repro/internal/mergeroute"
+)
+
+// Run synthesizes a buffered clock tree for the sinks.  The context is
+// checked between stages and between the individual merges of each level, so
+// cancelling it aborts the run promptly with the context's error.
+func (f *Flow) Run(ctx context.Context, sinks []Sink) (*Result, error) {
+	return f.run(ctx, "", sinks)
+}
+
+// run is the shared implementation behind Run and RunBatch; item names the
+// batch item in emitted events.
+func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result, err error) {
+	start := time.Now()
+	f.emit(Event{Kind: EventFlowStart, Item: item, Sinks: len(sinks)})
+	defer func() {
+		f.emit(Event{Kind: EventFlowEnd, Item: item, Elapsed: time.Since(start), Err: err})
+	}()
+
+	if len(sinks) == 0 {
+		return nil, errors.New("cts: no sinks")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	merger := f.cfg.merger
+	if merger == nil {
+		// The default router keeps a per-run memoization cache, so each run
+		// gets a fresh instance; this is what makes a Flow safe to share
+		// across RunBatch workers.
+		merger, err = f.newDefaultMergeRouter()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Level 0: every sink is its own sub-tree.
+	current := make([]*mergeroute.Subtree, len(sinks))
+	seen := map[string]bool{}
+	for i, s := range sinks {
+		if s.Name == "" {
+			s.Name = fmt.Sprintf("sink_%d", i)
+		}
+		if seen[s.Name] {
+			return nil, fmt.Errorf("cts: duplicate sink name %q", s.Name)
+		}
+		seen[s.Name] = true
+		loadCap := s.Cap
+		if loadCap <= 0 {
+			loadCap = f.cfg.tech.SinkCapDefault
+		}
+		current[i] = mergeroute.SinkSubtree(s.Name, s.Pos, loadCap)
+	}
+
+	res = &Result{Settings: f.cfg.settings}
+
+	// Levelized topology generation (Section 4.1.1): pair, then merge-route
+	// every pair, level by level until one tree remains.
+	for len(current) > 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		level := res.Levels + 1
+
+		topoStart := time.Now()
+		f.emit(Event{Kind: EventStageStart, Item: item, Stage: StageTopology, Level: level})
+		items := make([]Item, len(current))
+		for i, st := range current {
+			items[i] = Item{Pos: st.Pos(), Delay: st.MaxDelay}
+		}
+		pairs, seed, err := f.cfg.topology.Pair(ctx, items)
+		if err != nil {
+			return nil, fmt.Errorf("cts: topology level %d: %w", level, err)
+		}
+		if len(pairs) == 0 {
+			return nil, errors.New("cts: topology generation stalled")
+		}
+		f.emit(Event{Kind: EventStageEnd, Item: item, Stage: StageTopology, Level: level, Elapsed: time.Since(topoStart)})
+
+		mergeStart := time.Now()
+		f.emit(Event{Kind: EventStageStart, Item: item, Stage: StageMergeRoute, Level: level})
+		next := make([]*mergeroute.Subtree, 0, len(pairs)+1)
+		// Every sub-tree must be consumed exactly once per level: a custom
+		// TopologyBuilder that drops one would silently lose sinks, and one
+		// that reuses an index would attach the same tree node twice.
+		used := make([]bool, len(current))
+		if seed >= 0 {
+			if seed >= len(current) {
+				return nil, fmt.Errorf("cts: topology level %d: seed index %d out of range", level, seed)
+			}
+			used[seed] = true
+			next = append(next, current[seed])
+		}
+		levelFlips := 0
+		for _, p := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if p.A < 0 || p.B < 0 || p.A >= len(current) || p.B >= len(current) || p.A == p.B {
+				return nil, fmt.Errorf("cts: topology level %d: invalid pairing %+v", level, p)
+			}
+			if used[p.A] || used[p.B] {
+				return nil, fmt.Errorf("cts: topology level %d: pairing %+v reuses an already-matched sub-tree", level, p)
+			}
+			used[p.A], used[p.B] = true, true
+			merged, flips, err := merger.Merge(ctx, current[p.A], current[p.B])
+			if err != nil {
+				return nil, err
+			}
+			levelFlips += flips
+			next = append(next, merged)
+		}
+		for i, u := range used {
+			if !u {
+				return nil, fmt.Errorf("cts: topology level %d: sub-tree %d left unmatched", level, i)
+			}
+		}
+		f.emit(Event{Kind: EventStageEnd, Item: item, Stage: StageMergeRoute, Level: level, Elapsed: time.Since(mergeStart)})
+
+		res.Flippings += levelFlips
+		res.Levels++
+		current = next
+		f.emit(Event{
+			Kind: EventLevelDone, Item: item, Level: level,
+			Subtrees: len(current), Pairs: len(pairs), Flips: levelFlips,
+			Elapsed: time.Since(topoStart),
+		})
+	}
+
+	// Attach the clock source (with a buffered feed when it sits away from
+	// the tree root).
+	tree, err := timedStage(f, ctx, item, StageBuffering, func(ctx context.Context) (*clocktree.Tree, error) {
+		return f.cfg.bufferer.AttachSource(ctx, current[0], f.cfg.source)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Final library-based timing analysis.
+	timing, err := timedStage(f, ctx, item, StageTiming, func(ctx context.Context) (*clocktree.Timing, error) {
+		return f.cfg.timer.Analyze(ctx, tree)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.Tree = tree
+	res.Timing = timing
+	res.Stats = tree.Stats()
+
+	if f.cfg.verify {
+		vr, err := timedStage(f, ctx, item, StageVerify, func(ctx context.Context) (*clocktree.VerifyResult, error) {
+			return f.cfg.verifier.Verify(ctx, tree)
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Verification = vr
+	}
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// timedStage brackets one whole-flow stage with a context check and
+// start/end events.
+func timedStage[T any](f *Flow, ctx context.Context, item, stage string, fn func(context.Context) (T, error)) (T, error) {
+	var zero T
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
+	start := time.Now()
+	f.emit(Event{Kind: EventStageStart, Item: item, Stage: stage})
+	out, err := fn(ctx)
+	f.emit(Event{Kind: EventStageEnd, Item: item, Stage: stage, Elapsed: time.Since(start)})
+	if err != nil {
+		return zero, fmt.Errorf("cts: %s stage: %w", stage, err)
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package cts
+
+import "time"
+
+// EventKind classifies the progress events a Flow emits.
+type EventKind int
+
+const (
+	// EventFlowStart opens a run; Sinks carries the sink count.
+	EventFlowStart EventKind = iota
+	// EventStageStart opens a pipeline stage.  The topology and merge-route
+	// stages run once per level (with Level set); the buffering, timing and
+	// verify stages run once per flow.
+	EventStageStart
+	// EventStageEnd closes the matching EventStageStart; Elapsed carries the
+	// stage duration.
+	EventStageEnd
+	// EventLevelDone closes one level of the synthesis loop; Subtrees, Pairs
+	// and Flips carry the per-level counts.
+	EventLevelDone
+	// EventFlowEnd closes the run; Err is non-nil when the run failed.
+	EventFlowEnd
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventFlowStart:
+		return "flow-start"
+	case EventStageStart:
+		return "stage-start"
+	case EventStageEnd:
+		return "stage-end"
+	case EventLevelDone:
+		return "level-done"
+	case EventFlowEnd:
+		return "flow-end"
+	default:
+		return "event(?)"
+	}
+}
+
+// Stage names used by the default flow, in execution order.
+const (
+	StageTopology   = "topology"
+	StageMergeRoute = "mergeroute"
+	StageBuffering  = "buffering"
+	StageTiming     = "timing"
+	StageVerify     = "verify"
+)
+
+// Event is one structured progress report.
+type Event struct {
+	// Kind classifies the event.
+	Kind EventKind
+	// Item names the batch item during RunBatch; empty for single runs.
+	Item string
+	// Stage is the stage name for stage events.
+	Stage string
+	// Level is the topology level for per-level stage and level-done events
+	// (first merged level is 1).
+	Level int
+	// Sinks is the sink count (EventFlowStart).
+	Sinks int
+	// Subtrees is the number of sub-trees remaining after the level
+	// (EventLevelDone).
+	Subtrees int
+	// Pairs is the number of pairs merged at the level (EventLevelDone).
+	Pairs int
+	// Flips is the number of H-structure flippings at the level
+	// (EventLevelDone).
+	Flips int
+	// Elapsed is the duration of the closed span (stage end, level done,
+	// flow end).
+	Elapsed time.Duration
+	// Err is the run error (EventFlowEnd only).
+	Err error
+}
+
+// Observer receives progress events.  It is called synchronously from the
+// running flow, so it must be fast; during RunBatch it is invoked from
+// multiple goroutines and must be safe for concurrent use.
+type Observer func(Event)
+
+// emit invokes the observer if one is installed.
+func (f *Flow) emit(e Event) {
+	if f.cfg.observer != nil {
+		f.cfg.observer(e)
+	}
+}

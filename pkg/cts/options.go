@@ -1,0 +1,203 @@
+package cts
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/charlib"
+	"repro/internal/geom"
+	"repro/internal/spice"
+	"repro/internal/tech"
+)
+
+// Settings are the effective (defaulted) numeric parameters of a Flow; they
+// are echoed on every Result so downstream consumers can reproduce a run.
+type Settings struct {
+	// SlewLimit is the hard slew constraint in ps (default 100, as in the
+	// paper's experiments).
+	SlewLimit float64 `json:"slewLimit"`
+	// SlewTarget is the synthesis-time target that leaves a margin below the
+	// limit (default 0.8 * SlewLimit).
+	SlewTarget float64 `json:"slewTarget"`
+	// Alpha and Beta weight distance (um) and delay difference (ps) in the
+	// nearest-neighbour cost of equation 4.1.  Defaults: 1 and 20.
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+	// GridSize is the initial routing grid resolution R (default 45).
+	GridSize int `json:"gridSize"`
+	// Correction selects the H-structure handling.
+	Correction Correction `json:"correction"`
+}
+
+// config is the assembled Flow configuration.
+type config struct {
+	tech     *tech.Technology
+	library  *charlib.Library
+	settings Settings
+	source   *geom.Point
+	observer Observer
+
+	verify     bool
+	verifyOpts spice.Options
+
+	topology TopologyBuilder
+	merger   MergeRouter
+	bufferer Bufferer
+	timer    Timer
+	verifier Verifier
+}
+
+// Option configures a Flow at construction time.
+type Option func(*config)
+
+// WithLibrary selects the delay/slew library used for every timing lookup.
+// A nil library (the default) selects the closed-form analytic fallback.
+func WithLibrary(lib *charlib.Library) Option {
+	return func(c *config) { c.library = lib }
+}
+
+// WithSlewLimit sets the hard slew constraint in ps.
+func WithSlewLimit(ps float64) Option {
+	return func(c *config) { c.settings.SlewLimit = ps }
+}
+
+// WithSlewTarget sets the synthesis-time slew target in ps; the default
+// leaves a 20% margin below the limit.
+func WithSlewTarget(ps float64) Option {
+	return func(c *config) { c.settings.SlewTarget = ps }
+}
+
+// WithCostWeights sets alpha and beta of the nearest-neighbour pairing cost
+// (equation 4.1).
+func WithCostWeights(alpha, beta float64) Option {
+	return func(c *config) { c.settings.Alpha, c.settings.Beta = alpha, beta }
+}
+
+// WithGrid sets the initial routing grid resolution R of the merge-routing
+// maze (Section 4.2.2).
+func WithGrid(r int) Option {
+	return func(c *config) { c.settings.GridSize = r }
+}
+
+// WithCorrection selects the H-structure handling (Section 4.1.2).
+func WithCorrection(mode Correction) Option {
+	return func(c *config) { c.settings.Correction = mode }
+}
+
+// WithSource fixes the clock source location; without it the source is
+// placed at the final tree root.
+func WithSource(p geom.Point) Option {
+	return func(c *config) {
+		pos := p
+		c.source = &pos
+	}
+}
+
+// WithObserver installs a progress observer.
+func WithObserver(o Observer) Option {
+	return func(c *config) { c.observer = o }
+}
+
+// WithVerification enables the verify stage: every run ends with the golden
+// transient simulation and Result.Verification is populated.
+func WithVerification(opt spice.Options) Option {
+	return func(c *config) {
+		c.verify = true
+		c.verifyOpts = opt
+	}
+}
+
+// WithTopologyBuilder replaces the default nearest-neighbour pairing stage.
+func WithTopologyBuilder(tb TopologyBuilder) Option {
+	return func(c *config) { c.topology = tb }
+}
+
+// WithMergeRouter replaces the default merge-routing stage.  The router is
+// shared across RunBatch workers and must be safe for concurrent use.
+func WithMergeRouter(mr MergeRouter) Option {
+	return func(c *config) { c.merger = mr }
+}
+
+// WithBufferer replaces the default source-feed buffering stage.
+func WithBufferer(b Bufferer) Option {
+	return func(c *config) { c.bufferer = b }
+}
+
+// WithTimer replaces the default library-based timing stage.
+func WithTimer(t Timer) Option {
+	return func(c *config) { c.timer = t }
+}
+
+// WithVerifier replaces the default transient-simulation verify stage; it
+// runs when verification is enabled with WithVerification and populates
+// Result.Verification.  (Result.Verify, by contrast, is a convenience that
+// always runs the default transient simulation on demand.)
+func WithVerifier(v Verifier) Option {
+	return func(c *config) { c.verifier = v }
+}
+
+// Flow is a reusable synthesis pipeline bound to one technology and
+// configuration.  A Flow is safe for concurrent use by multiple goroutines
+// as long as any custom stages installed on it are.
+type Flow struct {
+	cfg config
+}
+
+// New assembles a Flow for the technology, applying defaults for every
+// parameter not set by an option: 100 ps slew limit, 80% slew target,
+// alpha/beta = 1/20, grid resolution 45, no correction, analytic library.
+func New(t *tech.Technology, opts ...Option) (*Flow, error) {
+	if t == nil {
+		return nil, errors.New("cts: nil technology")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	c := config{tech: t}
+	for _, opt := range opts {
+		opt(&c)
+	}
+
+	s := &c.settings
+	if s.SlewLimit <= 0 {
+		s.SlewLimit = 100
+	}
+	if s.SlewTarget <= 0 {
+		s.SlewTarget = 0.8 * s.SlewLimit
+	}
+	if s.SlewTarget > s.SlewLimit {
+		return nil, fmt.Errorf("cts: slew target %v exceeds the limit %v", s.SlewTarget, s.SlewLimit)
+	}
+	if s.Alpha == 0 && s.Beta == 0 {
+		s.Alpha, s.Beta = 1, 20
+	}
+	if s.GridSize <= 0 {
+		s.GridSize = 45
+	}
+	if c.library == nil {
+		c.library = charlib.NewAnalytic(t)
+	}
+
+	if c.topology == nil {
+		c.topology = &nearestNeighborTopology{alpha: s.Alpha, beta: s.Beta}
+	}
+	if c.bufferer == nil {
+		c.bufferer = &feedBufferer{tech: t, slewTarget: s.SlewTarget}
+	}
+	if c.timer == nil {
+		c.timer = &libraryTimer{library: c.library}
+	}
+	if c.verifier == nil {
+		c.verifier = &simVerifier{opts: c.verifyOpts}
+	}
+	return &Flow{cfg: c}, nil
+}
+
+// Settings returns the effective numeric parameters after defaulting.
+func (f *Flow) Settings() Settings { return f.cfg.settings }
+
+// Library returns the delay/slew library the flow synthesizes with.
+func (f *Flow) Library() *charlib.Library { return f.cfg.library }
+
+// Tech returns the technology the flow is bound to.
+func (f *Flow) Tech() *tech.Technology { return f.cfg.tech }

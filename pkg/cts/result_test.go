@@ -1,0 +1,111 @@
+package cts_test
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/spice"
+	"repro/internal/tech"
+	"repro/pkg/cts"
+)
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	tt := tech.Default()
+	flow, err := cts.New(tt, cts.WithVerification(spice.Options{TimeStep: 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := flow.Run(context.Background(), randomSinks(9, 10, 5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var decoded struct {
+		Settings struct {
+			SlewLimit  float64 `json:"slewLimit"`
+			SlewTarget float64 `json:"slewTarget"`
+			Correction string  `json:"correction"`
+		} `json:"settings"`
+		Levels int `json:"levels"`
+		Stats  struct {
+			Sinks   int `json:"sinks"`
+			Buffers int `json:"buffers"`
+		} `json:"stats"`
+		Timing struct {
+			WorstSlew float64 `json:"worstSlew"`
+			Skew      float64 `json:"skew"`
+		} `json:"timing"`
+		Verification *struct {
+			WorstSlew float64 `json:"worstSlew"`
+			Stages    int     `json:"stages"`
+		} `json:"verification"`
+	}
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("invalid JSON %s: %v", raw, err)
+	}
+	if decoded.Settings.SlewLimit != 100 || decoded.Settings.SlewTarget != 80 {
+		t.Errorf("settings = %+v, want defaulted 100/80", decoded.Settings)
+	}
+	if decoded.Settings.Correction != "none" {
+		t.Errorf("correction = %q, want \"none\"", decoded.Settings.Correction)
+	}
+	if decoded.Stats.Sinks != 10 || decoded.Stats.Buffers != res.Stats.Buffers {
+		t.Errorf("stats = %+v, want %d sinks, %d buffers", decoded.Stats, 10, res.Stats.Buffers)
+	}
+	if decoded.Timing.WorstSlew != res.Timing.WorstSlew || decoded.Timing.Skew != res.Timing.Skew {
+		t.Errorf("timing = %+v, want %v/%v", decoded.Timing, res.Timing.WorstSlew, res.Timing.Skew)
+	}
+	if decoded.Verification == nil {
+		t.Fatal("verification missing from JSON despite the verify stage running")
+	}
+	if decoded.Verification.WorstSlew != res.Verification.WorstSlew || decoded.Verification.Stages != res.Verification.Stages {
+		t.Errorf("verification = %+v, want %v/%d", decoded.Verification, res.Verification.WorstSlew, res.Verification.Stages)
+	}
+	if decoded.Levels != res.Levels {
+		t.Errorf("levels = %d, want %d", decoded.Levels, res.Levels)
+	}
+}
+
+func TestCorrectionJSONAndParse(t *testing.T) {
+	for mode, token := range map[cts.Correction]string{
+		cts.CorrectionNone:       `"none"`,
+		cts.CorrectionReEstimate: `"reestimate"`,
+		cts.CorrectionFull:       `"full"`,
+	} {
+		raw, err := json.Marshal(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(raw) != token {
+			t.Errorf("marshal %v = %s, want %s", mode, raw, token)
+		}
+		var back cts.Correction
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != mode {
+			t.Errorf("round trip %v -> %v", mode, back)
+		}
+	}
+	for in, want := range map[string]cts.Correction{
+		"none":          cts.CorrectionNone,
+		"":              cts.CorrectionNone,
+		"reestimate":    cts.CorrectionReEstimate,
+		"re-estimation": cts.CorrectionReEstimate,
+		"full":          cts.CorrectionFull,
+		"correction":    cts.CorrectionFull,
+	} {
+		got, err := cts.ParseCorrection(in)
+		if err != nil || got != want {
+			t.Errorf("ParseCorrection(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := cts.ParseCorrection("bogus"); err == nil {
+		t.Error("expected error for unknown mode")
+	}
+}

@@ -258,12 +258,43 @@ func BenchmarkTransientVerification(b *testing.B) {
 	}
 }
 
+// BenchmarkFlowParallelism measures the intra-run merge fan-out of the level
+// scheduler (cts.WithParallelism) on one scaled benchmark.  The parallelism-1
+// case is the sequential baseline; the synthesized tree is identical for
+// every width, so the ratio is pure scheduling speedup.  A recorded baseline
+// lives in BENCH_parallel.json.
+func BenchmarkFlowParallelism(b *testing.B) {
+	t := tech.Default()
+	bm, err := bench.SyntheticScaled("r1", 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		flow, err := cts.New(t,
+			cts.WithLibrary(charlib.NewAnalytic(t)),
+			cts.WithParallelism(par),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("par_"+strconv.Itoa(par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := flow.Run(context.Background(), bm.Sinks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkRunBatchWorkers measures the pkg/cts batch surface: three scaled
 // GSRC benchmarks synthesized over worker pools of different widths.  The
 // single-worker case is the sequential baseline.
 func BenchmarkRunBatchWorkers(b *testing.B) {
 	t := tech.Default()
-	flow, err := cts.New(t, cts.WithLibrary(charlib.NewAnalytic(t)))
+	// Intra-run fan-out is pinned to 1 so the benchmark isolates batch-worker
+	// scaling (BenchmarkFlowParallelism measures the intra-run fan-out).
+	flow, err := cts.New(t, cts.WithLibrary(charlib.NewAnalytic(t)), cts.WithParallelism(1))
 	if err != nil {
 		b.Fatal(err)
 	}

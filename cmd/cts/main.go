@@ -10,6 +10,8 @@
 //	cts -bench f11 -correction full -deck tree.sp
 //	cts -bench r2 -json                # machine-readable cts.Result JSON
 //	cts -bench r3 -progress            # per-stage pipeline progress on stderr
+//	cts -bench r3 -metrics             # per-stage counters/histograms on stderr
+//	cts -bench r4 -parallelism 8       # bound the intra-run merge fan-out
 package main
 
 import (
@@ -46,6 +48,8 @@ func main() {
 		noVerify   = flag.Bool("no-verify", false, "skip the transient verification")
 		jsonOut    = flag.Bool("json", false, "print the cts.Result JSON instead of the human-readable report")
 		progress   = flag.Bool("progress", false, "print per-stage pipeline progress to stderr")
+		metrics    = flag.Bool("metrics", false, "print per-stage counters and elapsed histograms to stderr after the run")
+		par        = flag.Int("parallelism", 0, "intra-run merge fan-out workers per level (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 
@@ -80,12 +84,32 @@ func main() {
 		cts.WithSlewLimit(*slewLimit),
 		cts.WithGrid(*gridSize),
 		cts.WithCorrection(mode),
+		cts.WithParallelism(*par),
 	}
 	if !*noVerify {
 		opts = append(opts, cts.WithVerification(spice.Options{TimeStep: 1}))
 	}
+	// -progress and -metrics both tap the observer stream; fan the events out
+	// to whichever are enabled.
+	var stats *cts.MetricsObserver
+	var observers []cts.Observer
 	if *progress {
-		opts = append(opts, cts.WithObserver(printProgress))
+		observers = append(observers, printProgress)
+	}
+	if *metrics {
+		stats = cts.NewMetricsObserver()
+		observers = append(observers, stats.Observe)
+	}
+	switch len(observers) {
+	case 0:
+	case 1:
+		opts = append(opts, cts.WithObserver(observers[0]))
+	default:
+		opts = append(opts, cts.WithObserver(func(e cts.Event) {
+			for _, o := range observers {
+				o(e)
+			}
+		}))
 	}
 	flow, err := cts.New(t, opts...)
 	if err != nil {
@@ -98,6 +122,9 @@ func main() {
 	}
 
 	res, err := flow.Run(ctx, bm.Sinks)
+	if stats != nil {
+		fmt.Fprint(os.Stderr, stats.Snapshot().Render())
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

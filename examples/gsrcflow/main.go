@@ -64,7 +64,7 @@ func main() {
 	for i, s := range bm.Sinks {
 		baseSinks[i] = dme.Sink{Name: s.Name, Pos: s.Pos, Cap: s.Cap}
 	}
-	baseTree, err := dme.Synthesize(t, baseSinks, dme.Options{SlewLimit: 80})
+	baseTree, err := dme.Synthesize(ctx, t, baseSinks, dme.Options{SlewLimit: 80})
 	if err != nil {
 		log.Fatal(err)
 	}

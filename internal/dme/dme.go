@@ -7,6 +7,7 @@
 package dme
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -122,9 +123,16 @@ type subtree struct {
 // sinks.  With Options.SlewLimit > 0 it additionally inserts buffers at merge
 // nodes whose unbuffered downstream load would violate the slew limit — the
 // restricted buffer-location policy the paper argues is insufficient.
-func Synthesize(t *tech.Technology, sinks []Sink, opt Options) (*clocktree.Tree, error) {
+//
+// The context is checked between the pair merges of the bottom-up loop and
+// between the node embeddings of the top-down pass, so cancelling it aborts
+// a large synthesis promptly with the context's error.
+func Synthesize(ctx context.Context, t *tech.Technology, sinks []Sink, opt Options) (*clocktree.Tree, error) {
 	if len(sinks) == 0 {
 		return nil, errors.New("dme: no sinks")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	if opt.Alpha == 0 && opt.Beta == 0 {
 		opt.Alpha = 1
@@ -154,6 +162,9 @@ func Synthesize(t *tech.Technology, sinks []Sink, opt Options) (*clocktree.Tree,
 			next = append(next, current[seed])
 		}
 		for _, p := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			next = append(next, mergePair(t, current[p.A], current[p.B]))
 		}
 		if len(next) >= len(current) {
@@ -170,7 +181,9 @@ func Synthesize(t *tech.Technology, sinks []Sink, opt Options) (*clocktree.Tree,
 	if opt.SourcePos != nil {
 		rootPos = root.arc.ClosestPoint(*opt.SourcePos)
 	}
-	embed(root, rootPos)
+	if err := embed(ctx, root, rootPos); err != nil {
+		return nil, err
+	}
 
 	sourcePos := rootPos
 	if opt.SourcePos != nil {
@@ -220,20 +233,26 @@ func mergePair(t *tech.Technology, a, b *subtree) *subtree {
 }
 
 // embed fixes node positions top-down.
-func embed(st *subtree, pos geom.Point) {
+func embed(ctx context.Context, st *subtree, pos geom.Point) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	st.node.Pos = pos
 	for _, child := range st.children {
 		if child == nil {
 			continue
 		}
 		childPos := child.arc.ClosestPoint(pos)
-		embed(child, childPos)
+		if err := embed(ctx, child, childPos); err != nil {
+			return err
+		}
 		// The stored edge length is what the zero-skew balance assumed; the
 		// embedding can only be at least as close, so keep the stored length
 		// (any surplus is wire snaking).
 		wire := math.Max(child.edgeLen, pos.Manhattan(childPos))
 		st.node.AddChild(child.node, wire)
 	}
+	return nil
 }
 
 func pickBuffer(t *tech.Technology, name string) (tech.Buffer, error) {

@@ -1,6 +1,8 @@
 package dme
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -77,7 +79,7 @@ func TestUnbufferedDMEAchievesZeroElmoreSkew(t *testing.T) {
 	tt := tech.Default()
 	for _, n := range []int{2, 5, 16, 33, 80} {
 		sinks := randomSinks(int64(n), n, 4000)
-		tree, err := Synthesize(tt, sinks, Options{})
+		tree, err := Synthesize(context.Background(), tt, sinks, Options{})
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
@@ -94,7 +96,7 @@ func TestUnbufferedDMEAchievesZeroElmoreSkew(t *testing.T) {
 func TestBufferedBaselineInsertsOnlyAtMergeNodes(t *testing.T) {
 	tt := tech.Default()
 	sinks := randomSinks(7, 32, 12000)
-	tree, err := Synthesize(tt, sinks, Options{SlewLimit: 80})
+	tree, err := Synthesize(context.Background(), tt, sinks, Options{SlewLimit: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +117,7 @@ func TestBufferedBaselineViolatesSlewOnLargeDie(t *testing.T) {
 	// satisfy a tight slew limit on a large die.
 	tt := tech.Default()
 	sinks := randomSinks(11, 24, 16000)
-	tree, err := Synthesize(tt, sinks, Options{SlewLimit: 80})
+	tree, err := Synthesize(context.Background(), tt, sinks, Options{SlewLimit: 80})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,22 +132,35 @@ func TestBufferedBaselineViolatesSlewOnLargeDie(t *testing.T) {
 
 func TestSynthesizeErrors(t *testing.T) {
 	tt := tech.Default()
-	if _, err := Synthesize(tt, nil, Options{}); err == nil {
+	if _, err := Synthesize(context.Background(), tt, nil, Options{}); err == nil {
 		t.Error("expected error for empty sink list")
 	}
 	bad := []Sink{{Name: "x", Pos: geom.Pt(0, 0), Cap: 0}}
-	if _, err := Synthesize(tt, bad, Options{}); err == nil {
+	if _, err := Synthesize(context.Background(), tt, bad, Options{}); err == nil {
 		t.Error("expected error for zero-capacitance sink")
 	}
-	if _, err := Synthesize(tt, randomSinks(1, 4, 100), Options{SlewLimit: 80, Buffer: "nope"}); err == nil {
+	if _, err := Synthesize(context.Background(), tt, randomSinks(1, 4, 100), Options{SlewLimit: 80, Buffer: "nope"}); err == nil {
 		t.Error("expected error for unknown buffer name")
+	}
+}
+
+func TestSynthesizeCancellation(t *testing.T) {
+	tt := tech.Default()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Synthesize(ctx, tt, randomSinks(5, 64, 8000), Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The same inputs synthesize cleanly without the cancelled context.
+	if _, err := Synthesize(context.Background(), tt, randomSinks(5, 64, 8000), Options{}); err != nil {
+		t.Fatal(err)
 	}
 }
 
 func TestSourcePositionOption(t *testing.T) {
 	tt := tech.Default()
 	src := geom.Pt(0, 0)
-	tree, err := Synthesize(tt, randomSinks(3, 9, 3000), Options{SourcePos: &src})
+	tree, err := Synthesize(context.Background(), tt, randomSinks(3, 9, 3000), Options{SourcePos: &src})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +171,7 @@ func TestSourcePositionOption(t *testing.T) {
 
 func TestSingleSink(t *testing.T) {
 	tt := tech.Default()
-	tree, err := Synthesize(tt, []Sink{{Name: "only", Pos: geom.Pt(100, 100), Cap: 15}}, Options{})
+	tree, err := Synthesize(context.Background(), tt, []Sink{{Name: "only", Pos: geom.Pt(100, 100), Cap: 15}}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

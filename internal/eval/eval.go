@@ -133,12 +133,16 @@ func loadBenchmarks(cfg Config, names []string) ([]bench.Benchmark, []cts.BatchI
 
 // tableFlow assembles the synthesis pipeline shared by the table
 // experiments, with the verify stage enabled so every batch result carries
-// its simulated timing.
+// its simulated timing.  The RunBatch workers and the concurrent DME
+// baselines already saturate the machine across benchmarks, so the intra-run
+// merge fan-out is pinned to 1 to avoid stacking a second worker pool on
+// every batch worker.
 func tableFlow(cfg Config, extra ...cts.Option) (*cts.Flow, error) {
 	opts := append([]cts.Option{
 		cts.WithLibrary(cfg.Library),
 		cts.WithSlewLimit(cfg.SlewLimit),
 		cts.WithVerification(spice.Options{TimeStep: cfg.SimStep}),
+		cts.WithParallelism(1),
 	}, extra...)
 	return cts.New(cfg.Tech, opts...)
 }
@@ -219,9 +223,12 @@ func baseline(ctx context.Context, cfg Config, bm bench.Benchmark) (skew, worstS
 		}
 		baseSinks[i] = dme.Sink{Name: s.Name, Pos: s.Pos, Cap: capFF}
 	}
-	baseTree, err := dme.Synthesize(cfg.Tech, baseSinks, dme.Options{SlewLimit: cfg.SlewLimit * 0.8})
+	baseTree, err := dme.Synthesize(ctx, cfg.Tech, baseSinks, dme.Options{SlewLimit: cfg.SlewLimit * 0.8})
 	if err != nil {
 		return 0, 0, fmt.Errorf("baseline: %w", err)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
 	}
 	baseVR, err := clocktree.Verify(baseTree, spice.Options{TimeStep: cfg.SimStep})
 	if err != nil {

@@ -29,9 +29,11 @@ package mergeroute
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/charlib"
 	"repro/internal/clocktree"
@@ -108,13 +110,60 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Merger performs merge-routing for one synthesis run.
+// Merger performs merge-routing for one synthesis run.  A Merger is safe for
+// concurrent Merge calls on disjoint sub-tree pairs: its only mutable state is
+// the sharded per-load memo cache, and the cached values are pure functions of
+// the load capacitance, so concurrent and sequential runs see identical
+// numbers.
 type Merger struct {
 	tech *tech.Technology
 	cfg  Config
 	// maxDrivable caches, per load capacitance, the longest wire any library
 	// buffer can drive under the slew target.
-	maxDrivable map[float64]float64
+	maxDrivable drivableCache
+}
+
+// drivableShards is the shard count of the memo cache; loads hash across the
+// shards so concurrent merges rarely contend on one lock.
+const drivableShards = 16
+
+// drivableCache is the sharded per-load-capacitance memo of the longest
+// drivable wire length.
+type drivableCache struct {
+	shards [drivableShards]struct {
+		mu sync.RWMutex
+		m  map[float64]float64
+	}
+}
+
+func (c *drivableCache) shard(loadCap float64) *struct {
+	mu sync.RWMutex
+	m  map[float64]float64
+} {
+	// Mix the float bits so that nearby loads spread over the shards.
+	h := math.Float64bits(loadCap)
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return &c.shards[h%drivableShards]
+}
+
+func (c *drivableCache) get(loadCap float64) (float64, bool) {
+	s := c.shard(loadCap)
+	s.mu.RLock()
+	v, ok := s.m[loadCap]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (c *drivableCache) put(loadCap, v float64) {
+	s := c.shard(loadCap)
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = map[float64]float64{}
+	}
+	s.m[loadCap] = v
+	s.mu.Unlock()
 }
 
 // New returns a merger bound to the technology and configuration.
@@ -123,7 +172,7 @@ func New(t *tech.Technology, cfg Config) (*Merger, error) {
 	if cfg.Lib == nil {
 		return nil, errors.New("mergeroute: configuration has no delay/slew library")
 	}
-	return &Merger{tech: t, cfg: cfg, maxDrivable: map[float64]float64{}}, nil
+	return &Merger{tech: t, cfg: cfg}, nil
 }
 
 // SlewTarget returns the configured synthesis slew target.
@@ -131,9 +180,10 @@ func (m *Merger) SlewTarget() float64 { return m.cfg.SlewTarget }
 
 // maxDrivableLen returns the longest wire any library buffer can drive into
 // the given load while keeping the far-end slew at the target, memoized per
-// load capacitance.
+// load capacitance.  The value depends only on loadCap, so a racing
+// re-computation stores the same number and the cache stays deterministic.
 func (m *Merger) maxDrivableLen(loadCap float64) float64 {
-	if v, ok := m.maxDrivable[loadCap]; ok {
+	if v, ok := m.maxDrivable.get(loadCap); ok {
 		return v
 	}
 	best := 0.0
@@ -145,7 +195,7 @@ func (m *Merger) maxDrivableLen(loadCap float64) float64 {
 	if best < 10 {
 		best = 10
 	}
-	m.maxDrivable[loadCap] = best
+	m.maxDrivable.put(loadCap, best)
 	return best
 }
 
@@ -164,9 +214,16 @@ type pathNode struct {
 // merged sub-tree rooted at a buffered merge node.  The input sub-trees are
 // not modified; on success their root nodes become descendants of the new
 // merge node.
-func (m *Merger) Merge(a, b *Subtree) (*Subtree, error) {
+//
+// The context is checked between stages and periodically inside the maze
+// expansion, so cancelling it aborts a long merge promptly with the context's
+// error.  Concurrent Merge calls on disjoint sub-tree pairs are safe.
+func (m *Merger) Merge(ctx context.Context, a, b *Subtree) (*Subtree, error) {
 	if a == nil || b == nil {
 		return nil, errors.New("mergeroute: nil sub-tree")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Work on copies so that a failed or discarded merge leaves the inputs
 	// untouched (needed by the H-structure correction, which routes trial
@@ -177,8 +234,11 @@ func (m *Merger) Merge(a, b *Subtree) (*Subtree, error) {
 	m.balance(&wa, &wb)
 
 	// Stage 2: bi-directional maze routing.
-	pathA, pathB, err := m.route(&wa, &wb)
+	pathA, pathB, err := m.route(ctx, &wa, &wb)
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 
@@ -356,7 +416,7 @@ func (g *grid) cellOf(p geom.Point) (int, int) {
 
 // route runs the two maze expansions and returns the reconstructed paths
 // from each sub-tree root to the selected merge cell.
-func (m *Merger) route(a, b *Subtree) (pathA, pathB []pathNode, err error) {
+func (m *Merger) route(ctx context.Context, a, b *Subtree) (pathA, pathB []pathNode, err error) {
 	dist := a.Pos().Manhattan(b.Pos())
 	rootA := pathNode{pos: a.Pos(), node: a.Root, loadCap: a.LoadCap, downMin: a.MinDelay, downMax: a.MaxDelay}
 	rootB := pathNode{pos: b.Pos(), node: b.Root, loadCap: b.LoadCap, downMin: b.MinDelay, downMax: b.MaxDelay}
@@ -367,8 +427,14 @@ func (m *Merger) route(a, b *Subtree) (pathA, pathB []pathNode, err error) {
 		return []pathNode{rootA}, []pathNode{rootB}, nil
 	}
 
-	statesA := m.expand(g, a)
-	statesB := m.expand(g, b)
+	statesA, err := m.expand(ctx, g, a)
+	if err != nil {
+		return nil, nil, err
+	}
+	statesB, err := m.expand(ctx, g, b)
+	if err != nil {
+		return nil, nil, err
+	}
 
 	// Pick the grid cell with the minimum estimated skew of the merged tree;
 	// break ties with the smaller maximum latency.
@@ -444,8 +510,10 @@ func (q *expandQueue) Pop() interface{} {
 
 // expand runs the delay-driven maze expansion from one sub-tree root over the
 // grid, inserting buffers whenever the open segment could no longer satisfy
-// the slew target (Figure 4.4).
-func (m *Merger) expand(g *grid, s *Subtree) []cellState {
+// the slew target (Figure 4.4).  The context is polled every few hundred heap
+// pops — often enough that even a maxed-out grid aborts within microseconds
+// of cancellation.
+func (m *Merger) expand(ctx context.Context, g *grid, s *Subtree) ([]cellState, error) {
 	lib := m.cfg.Lib
 	target := m.cfg.SlewTarget
 	refBuf := m.tech.Buffers[len(m.tech.Buffers)/2]
@@ -478,7 +546,12 @@ func (m *Merger) expand(g *grid, s *Subtree) []cellState {
 	pq := &expandQueue{{idx: start, est: seed.est}}
 	heap.Init(pq)
 	visited := make([]bool, len(states))
-	for pq.Len() > 0 {
+	for pops := 0; pq.Len() > 0; pops++ {
+		if pops%256 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		cur := heap.Pop(pq).(expandItem)
 		if visited[cur.idx] {
 			continue
@@ -540,7 +613,7 @@ func (m *Merger) expand(g *grid, s *Subtree) []cellState {
 			}
 		}
 	}
-	return states
+	return states, nil
 }
 
 // chooseBuffer implements the intelligent buffer sizing of Section 4.2.2: all

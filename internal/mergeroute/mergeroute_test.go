@@ -1,7 +1,10 @@
 package mergeroute
 
 import (
+	"context"
+	"errors"
 	"math"
+	"sync"
 	"testing"
 
 	"repro/internal/charlib"
@@ -24,7 +27,7 @@ func TestMergeTwoSinksBalances(t *testing.T) {
 	m, tt := newMerger(t)
 	a := SinkSubtree("a", geom.Pt(0, 0), tt.SinkCapDefault)
 	b := SinkSubtree("b", geom.Pt(3000, 0), tt.SinkCapDefault)
-	merged, err := m.Merge(a, b)
+	merged, err := m.Merge(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +62,7 @@ func TestMergeRespectsSlewEverywhere(t *testing.T) {
 	lib := m.cfg.Lib
 	a := SinkSubtree("a", geom.Pt(0, 0), tt.SinkCapDefault)
 	b := SinkSubtree("b", geom.Pt(4000, 2500), tt.SinkCapDefault)
-	merged, err := m.Merge(a, b)
+	merged, err := m.Merge(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +84,7 @@ func TestBalanceStageSnakesUnequalSubtrees(t *testing.T) {
 	b := SinkSubtree("b", geom.Pt(300, 0), tt.SinkCapDefault)
 	// Make b artificially slow, as if it already carried a deep sub-tree.
 	b.MinDelay, b.MaxDelay = 400, 400
-	merged, err := m.Merge(a, b)
+	merged, err := m.Merge(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +114,7 @@ func TestMergeCoLocatedRoots(t *testing.T) {
 	m, tt := newMerger(t)
 	a := SinkSubtree("a", geom.Pt(500, 500), tt.SinkCapDefault)
 	b := SinkSubtree("b", geom.Pt(500, 500), tt.SinkCapDefault)
-	merged, err := m.Merge(a, b)
+	merged, err := m.Merge(context.Background(), a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +125,7 @@ func TestMergeCoLocatedRoots(t *testing.T) {
 
 func TestMergeErrorsAndDetach(t *testing.T) {
 	m, tt := newMerger(t)
-	if _, err := m.Merge(nil, SinkSubtree("x", geom.Pt(0, 0), 10)); err == nil {
+	if _, err := m.Merge(context.Background(), nil, SinkSubtree("x", geom.Pt(0, 0), 10)); err == nil {
 		t.Error("expected error for nil sub-tree")
 	}
 	if _, err := New(tt, Config{}); err == nil {
@@ -130,7 +133,7 @@ func TestMergeErrorsAndDetach(t *testing.T) {
 	}
 	a := SinkSubtree("a", geom.Pt(0, 0), tt.SinkCapDefault)
 	b := SinkSubtree("b", geom.Pt(900, 0), tt.SinkCapDefault)
-	if _, err := m.Merge(a, b); err != nil {
+	if _, err := m.Merge(context.Background(), a, b); err != nil {
 		t.Fatal(err)
 	}
 	if a.Root.Parent == nil || b.Root.Parent == nil {
@@ -188,6 +191,76 @@ func TestGridSizing(t *testing.T) {
 	}
 	if math.IsNaN(large.cellSize) || large.cellSize <= 0 {
 		t.Error("bad cell size")
+	}
+}
+
+func TestMergeCancellation(t *testing.T) {
+	m, tt := newMerger(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a := SinkSubtree("a", geom.Pt(0, 0), tt.SinkCapDefault)
+	b := SinkSubtree("b", geom.Pt(6000, 4000), tt.SinkCapDefault)
+	if _, err := m.Merge(ctx, a, b); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A cancelled merge must leave the inputs unattached and re-mergeable.
+	if a.Root.Parent != nil || b.Root.Parent != nil {
+		t.Error("cancelled merge attached the sub-tree roots")
+	}
+	if _, err := m.Merge(context.Background(), a, b); err != nil {
+		t.Fatalf("re-merge after cancellation: %v", err)
+	}
+}
+
+// TestConcurrentMergesMatchSequential drives one shared Merger from many
+// goroutines over disjoint pairs (the intra-level fan-out of pkg/cts) and
+// checks the results are bit-identical to a fresh sequential Merger's.  Run
+// with -race to exercise the sharded memo cache.
+func TestConcurrentMergesMatchSequential(t *testing.T) {
+	tt := tech.Default()
+	mkPairs := func() [][2]*Subtree {
+		var pairs [][2]*Subtree
+		for i := 0; i < 24; i++ {
+			fi := float64(i)
+			a := SinkSubtree("a", geom.Pt(fi*137, fi*71), tt.SinkCapDefault+float64(i%5))
+			b := SinkSubtree("b", geom.Pt(fi*137+900+50*fi, fi*53+400), tt.SinkCapDefault+float64(i%3))
+			pairs = append(pairs, [2]*Subtree{a, b})
+		}
+		return pairs
+	}
+
+	seq, _ := newMerger(t)
+	want := make([]*Subtree, 24)
+	for i, p := range mkPairs() {
+		merged, err := seq.Merge(context.Background(), p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = merged
+	}
+
+	par, _ := newMerger(t)
+	pairs := mkPairs()
+	got := make([]*Subtree, len(pairs))
+	errs := make([]error, len(pairs))
+	var wg sync.WaitGroup
+	for i := range pairs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = par.Merge(context.Background(), pairs[i][0], pairs[i][1])
+		}(i)
+	}
+	wg.Wait()
+	for i := range pairs {
+		if errs[i] != nil {
+			t.Fatalf("pair %d: %v", i, errs[i])
+		}
+		if got[i].MinDelay != want[i].MinDelay || got[i].MaxDelay != want[i].MaxDelay ||
+			got[i].LoadCap != want[i].LoadCap || got[i].Root.Pos != want[i].Root.Pos {
+			t.Errorf("pair %d: concurrent merge differs from sequential: %+v vs %+v",
+				i, got[i], want[i])
+		}
 	}
 }
 

@@ -30,6 +30,12 @@ type BatchResult struct {
 // would produce.  Cancelling the context aborts in-flight runs and marks the
 // remaining items with the context's error; per-item failures land in their
 // BatchResult without affecting the other items.
+//
+// RunBatch composes with the intra-run merge fan-out: each worker runs its
+// own level scheduler, so the total goroutine budget is roughly workers
+// times the flow's parallelism (see WithParallelism).  When a batch already
+// saturates the machine, WithParallelism(1) keeps the per-run footprint at
+// one goroutine.
 func (f *Flow) RunBatch(ctx context.Context, items []BatchItem, workers int) []BatchResult {
 	results := make([]BatchResult, len(items))
 	if len(items) == 0 {

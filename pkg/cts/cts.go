@@ -22,12 +22,20 @@
 //	})
 //	fmt.Println(res.Timing.Skew, res.Stats.Buffers)
 //
-// Every run takes a context.Context, checked between stages and between the
-// individual merges of the per-level synthesis loop, so long runs cancel
-// promptly.  Progress is reported through an optional Observer (stage
-// start/end, per-level sub-tree counts, timings).  RunBatch executes many
-// sink sets concurrently over a bounded worker pool with deterministic,
-// input-ordered results, and Result marshals to JSON for service and CLI
+// Every run takes a context.Context, checked between stages, between the
+// individual merges of the per-level synthesis loop and periodically inside
+// each merge's maze expansion, so long runs cancel promptly.  Progress is
+// reported through an optional Observer (stage start/end, per-level sub-tree
+// counts, timings); observer emission is serialized, and MetricsObserver
+// aggregates the stream into per-stage counters and histograms.
+//
+// Synthesis is concurrent at two levels.  RunBatch executes many sink sets
+// over a bounded worker pool with deterministic, input-ordered results, and
+// WithParallelism fans the independent merges of each topology level out
+// across an intra-run worker pool.  Both are bit-identical to sequential
+// runs: level results are collected in pair order, and the default merge
+// router's memo cache is sharded so concurrent merges see the same numbers a
+// sequential run would.  Result marshals to JSON for service and CLI
 // interchange.
 package cts
 
@@ -157,8 +165,12 @@ type TopologyBuilder interface {
 // mode.
 //
 // A MergeRouter installed with WithMergeRouter is shared across the
-// concurrent runs of RunBatch and must be safe for concurrent use; the
-// default router is constructed fresh for every run.
+// concurrent runs of RunBatch and across the intra-run fan-out of the level
+// scheduler (WithParallelism), and must be safe for concurrent use.  The
+// default router is constructed fresh for every run and is concurrency-safe
+// within it: its only mutable state is a sharded per-load memo cache whose
+// entries are pure functions of the load, so parallel and sequential merges
+// produce identical trees.
 type MergeRouter interface {
 	Merge(ctx context.Context, a, b *mergeroute.Subtree) (merged *mergeroute.Subtree, flips int, err error)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/clocktree"
@@ -11,8 +12,11 @@ import (
 )
 
 // Run synthesizes a buffered clock tree for the sinks.  The context is
-// checked between stages and between the individual merges of each level, so
-// cancelling it aborts the run promptly with the context's error.
+// checked between stages, between the individual merges of each level and
+// inside each merge's maze expansion, so cancelling it aborts the run
+// promptly with the context's error.  Each level's independent merges are
+// dispatched to a worker pool bounded by WithParallelism; the result is
+// bit-identical to a sequential run.
 func (f *Flow) Run(ctx context.Context, sinks []Sink) (*Result, error) {
 	return f.run(ctx, "", sinks)
 }
@@ -44,17 +48,28 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 		}
 	}
 
-	// Level 0: every sink is its own sub-tree.
+	// Level 0: every sink is its own sub-tree.  Explicit names are checked
+	// for duplicates first, so that a clash between an explicit name and a
+	// later generated default (e.g. an explicit "sink_0" alongside an unnamed
+	// sink) is reported as what it is rather than as a plain duplicate.
+	explicit := map[string]int{}
+	for i, s := range sinks {
+		if s.Name == "" {
+			continue
+		}
+		if j, ok := explicit[s.Name]; ok {
+			return nil, fmt.Errorf("cts: duplicate sink name %q (sinks %d and %d)", s.Name, j, i)
+		}
+		explicit[s.Name] = i
+	}
 	current := make([]*mergeroute.Subtree, len(sinks))
-	seen := map[string]bool{}
 	for i, s := range sinks {
 		if s.Name == "" {
 			s.Name = fmt.Sprintf("sink_%d", i)
+			if j, ok := explicit[s.Name]; ok {
+				return nil, fmt.Errorf("cts: generated default name %q for unnamed sink %d collides with the explicitly named sink %d; name all sinks or avoid the sink_N pattern", s.Name, i, j)
+			}
 		}
-		if seen[s.Name] {
-			return nil, fmt.Errorf("cts: duplicate sink name %q", s.Name)
-		}
-		seen[s.Name] = true
 		loadCap := s.Cap
 		if loadCap <= 0 {
 			loadCap = f.cfg.tech.SinkCapDefault
@@ -101,11 +116,7 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 			used[seed] = true
 			next = append(next, current[seed])
 		}
-		levelFlips := 0
 		for _, p := range pairs {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
 			if p.A < 0 || p.B < 0 || p.A >= len(current) || p.B >= len(current) || p.A == p.B {
 				return nil, fmt.Errorf("cts: topology level %d: invalid pairing %+v", level, p)
 			}
@@ -113,18 +124,17 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 				return nil, fmt.Errorf("cts: topology level %d: pairing %+v reuses an already-matched sub-tree", level, p)
 			}
 			used[p.A], used[p.B] = true, true
-			merged, flips, err := merger.Merge(ctx, current[p.A], current[p.B])
-			if err != nil {
-				return nil, err
-			}
-			levelFlips += flips
-			next = append(next, merged)
 		}
 		for i, u := range used {
 			if !u {
 				return nil, fmt.Errorf("cts: topology level %d: sub-tree %d left unmatched", level, i)
 			}
 		}
+		merged, levelFlips, err := f.mergeLevel(ctx, merger, current, pairs)
+		if err != nil {
+			return nil, err
+		}
+		next = append(next, merged...)
 		f.emit(Event{Kind: EventStageEnd, Item: item, Stage: StageMergeRoute, Level: level, Elapsed: time.Since(mergeStart)})
 
 		res.Flippings += levelFlips
@@ -169,6 +179,93 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 	}
 	res.Elapsed = time.Since(start)
 	return res, nil
+}
+
+// mergeLevel merge-routes every pair of one level.  The merges of a level are
+// independent (the levelized topology of Section 4.1.1 pairs disjoint
+// sub-trees), so the pairs are dispatched to a worker pool bounded by the
+// flow's parallelism.  Merged sub-trees are collected into their pair's slot
+// and flip counts are aggregated only after every worker has joined, so the
+// returned level is bit-identical to the sequential path for any pool width.
+func (f *Flow) mergeLevel(ctx context.Context, merger MergeRouter, current []*mergeroute.Subtree, pairs []Pairing) ([]*mergeroute.Subtree, int, error) {
+	merged := make([]*mergeroute.Subtree, len(pairs))
+	flips := make([]int, len(pairs))
+
+	workers := f.Parallelism()
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers <= 1 {
+		total := 0
+		for i, p := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
+			m, fl, err := merger.Merge(ctx, current[p.A], current[p.B])
+			if err != nil {
+				return nil, 0, err
+			}
+			merged[i], total = m, total+fl
+		}
+		return merged, total, nil
+	}
+
+	// Fan out: a failing merge cancels the level's context so the other
+	// workers drain their remaining pairs quickly.
+	lctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errs := make([]error, len(pairs))
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				p := pairs[i]
+				m, fl, err := merger.Merge(lctx, current[p.A], current[p.B])
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				merged[i], flips[i] = m, fl
+			}
+		}()
+	}
+	for i := range pairs {
+		indices <- i
+	}
+	close(indices)
+	wg.Wait()
+
+	// Report the first real failure in pair order; cancellation errors are
+	// only fallbacks, since all but one of them are echoes of the level
+	// cancel (or of the caller's own context, which the caller reports too).
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			firstErr = err
+			break
+		}
+	}
+	if firstErr != nil {
+		return nil, 0, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	total := 0
+	for _, fl := range flips {
+		total += fl
+	}
+	return merged, total, nil
 }
 
 // timedStage brackets one whole-flow stage with a context check and

@@ -1,6 +1,12 @@
 package cts
 
-import "time"
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
 
 // EventKind classifies the progress events a Flow emits.
 type EventKind int
@@ -78,13 +84,175 @@ type Event struct {
 }
 
 // Observer receives progress events.  It is called synchronously from the
-// running flow, so it must be fast; during RunBatch it is invoked from
-// multiple goroutines and must be safe for concurrent use.
+// running flow, so it must be fast.  The Flow serializes emission behind a
+// mutex: even when events originate from RunBatch workers or from the
+// intra-run level scheduler (WithParallelism), the observer is invoked by one
+// goroutine at a time and per-level event ordering stays valid.
 type Observer func(Event)
 
-// emit invokes the observer if one is installed.
+// emit invokes the observer, if one is installed, under the emission mutex.
 func (f *Flow) emit(e Event) {
-	if f.cfg.observer != nil {
-		f.cfg.observer(e)
+	if f.cfg.observer == nil {
+		return
 	}
+	f.emitMu.Lock()
+	defer f.emitMu.Unlock()
+	f.cfg.observer(e)
+}
+
+// metricBuckets are the upper bounds of the elapsed-time histogram buckets of
+// StageMetrics; durations above the last bound land in the overflow bucket.
+var metricBuckets = [...]time.Duration{
+	time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+	10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+	100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+	time.Second, 2 * time.Second, 5 * time.Second,
+}
+
+// HistogramBounds returns the upper bounds of the StageMetrics elapsed
+// histogram; Buckets[i] counts durations <= bounds[i], and the final bucket
+// (len(bounds)) counts everything longer.
+func HistogramBounds() []time.Duration {
+	out := make([]time.Duration, len(metricBuckets))
+	copy(out[:], metricBuckets[:])
+	return out
+}
+
+// StageMetrics aggregates the closed spans of one stage.
+type StageMetrics struct {
+	// Count is the number of completed stage executions.
+	Count int
+	// Total, Min and Max summarize the elapsed times.
+	Total, Min, Max time.Duration
+	// Buckets is the elapsed histogram over HistogramBounds (the last entry
+	// is the overflow bucket).
+	Buckets [len(metricBuckets) + 1]int
+}
+
+// Mean returns the mean elapsed time, or zero before the first execution.
+func (s StageMetrics) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+func (s *StageMetrics) observe(d time.Duration) {
+	if s.Count == 0 || d < s.Min {
+		s.Min = d
+	}
+	if d > s.Max {
+		s.Max = d
+	}
+	s.Count++
+	s.Total += d
+	i := 0
+	for i < len(metricBuckets) && d > metricBuckets[i] {
+		i++
+	}
+	s.Buckets[i]++
+}
+
+// MetricsSnapshot is a point-in-time copy of a MetricsObserver's aggregates.
+type MetricsSnapshot struct {
+	// FlowsStarted and FlowsDone count run starts and completions;
+	// FlowsFailed counts the completions that carried an error.
+	FlowsStarted, FlowsDone, FlowsFailed int
+	// Levels, Pairs and Flips accumulate the per-level counters across runs.
+	Levels, Pairs, Flips int
+	// Stages maps stage name (StageTopology, ...) to its aggregates.  The
+	// per-level stages count one execution per level, the whole-flow stages
+	// one per run.
+	Stages map[string]StageMetrics
+}
+
+// MetricsObserver aggregates flow events into per-stage counters and elapsed
+// histograms.  Install its Observe method on a flow:
+//
+//	m := cts.NewMetricsObserver()
+//	flow, _ := cts.New(t, cts.WithObserver(m.Observe))
+//	...
+//	fmt.Print(m.Snapshot().Render())
+//
+// The observer is safe for concurrent use and may outlive any number of runs
+// and flows; Snapshot can be taken while runs are in flight (a metrics sink
+// scraping a long-lived service, for example).
+type MetricsObserver struct {
+	mu   sync.Mutex
+	snap MetricsSnapshot
+}
+
+// NewMetricsObserver returns an empty metrics aggregator.
+func NewMetricsObserver() *MetricsObserver {
+	return &MetricsObserver{snap: MetricsSnapshot{Stages: map[string]StageMetrics{}}}
+}
+
+// Observe folds one event into the aggregates; it is an Observer.
+func (m *MetricsObserver) Observe(e Event) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	switch e.Kind {
+	case EventFlowStart:
+		m.snap.FlowsStarted++
+	case EventFlowEnd:
+		m.snap.FlowsDone++
+		if e.Err != nil {
+			m.snap.FlowsFailed++
+		}
+	case EventLevelDone:
+		m.snap.Levels++
+		m.snap.Pairs += e.Pairs
+		m.snap.Flips += e.Flips
+	case EventStageEnd:
+		sm := m.snap.Stages[e.Stage]
+		sm.observe(e.Elapsed)
+		m.snap.Stages[e.Stage] = sm
+	}
+}
+
+// Snapshot returns a deep copy of the current aggregates.
+func (m *MetricsObserver) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.snap
+	out.Stages = make(map[string]StageMetrics, len(m.snap.Stages))
+	for k, v := range m.snap.Stages {
+		out.Stages[k] = v
+	}
+	return out
+}
+
+// Render produces a compact text report of the snapshot: the flow and level
+// counters, then one line per stage with count, total/mean/min/max and the
+// non-empty histogram buckets.
+func (s MetricsSnapshot) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "flows: %d started, %d done, %d failed; levels %d, pairs %d, flips %d\n",
+		s.FlowsStarted, s.FlowsDone, s.FlowsFailed, s.Levels, s.Pairs, s.Flips)
+	names := make([]string, 0, len(s.Stages))
+	for name := range s.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sm := s.Stages[name]
+		fmt.Fprintf(&b, "%-11s n=%-5d total=%-10v mean=%-9v min=%-9v max=%v\n",
+			name, sm.Count, sm.Total.Round(time.Microsecond), sm.Mean().Round(time.Microsecond),
+			sm.Min.Round(time.Microsecond), sm.Max.Round(time.Microsecond))
+		var hist []string
+		for i, n := range sm.Buckets {
+			if n == 0 {
+				continue
+			}
+			if i < len(metricBuckets) {
+				hist = append(hist, fmt.Sprintf("<=%v: %d", metricBuckets[i], n))
+			} else {
+				hist = append(hist, fmt.Sprintf(">%v: %d", metricBuckets[len(metricBuckets)-1], n))
+			}
+		}
+		if len(hist) > 0 {
+			fmt.Fprintf(&b, "            histogram %s\n", strings.Join(hist, ", "))
+		}
+	}
+	return b.String()
 }

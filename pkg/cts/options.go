@@ -3,6 +3,8 @@ package cts
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 
 	"repro/internal/charlib"
 	"repro/internal/geom"
@@ -31,11 +33,12 @@ type Settings struct {
 
 // config is the assembled Flow configuration.
 type config struct {
-	tech     *tech.Technology
-	library  *charlib.Library
-	settings Settings
-	source   *geom.Point
-	observer Observer
+	tech        *tech.Technology
+	library     *charlib.Library
+	settings    Settings
+	source      *geom.Point
+	observer    Observer
+	parallelism int
 
 	verify     bool
 	verifyOpts spice.Options
@@ -98,6 +101,20 @@ func WithObserver(o Observer) Option {
 	return func(c *config) { c.observer = o }
 }
 
+// WithParallelism bounds the intra-run merge fan-out: every level's pairs are
+// dispatched to a pool of at most n workers (the merges within a level are
+// independent, Section 4.1.1).  n <= 0 (the default) selects GOMAXPROCS; 1
+// forces the fully sequential path.  Results are collected in deterministic
+// pair order, so the synthesized tree is bit-identical for every n.
+//
+// The fan-out composes with RunBatch: each of the batch's workers runs its
+// own level scheduler, so the total goroutine budget is roughly workers * n.
+// Custom MergeRouters installed with WithMergeRouter must be safe for the
+// resulting concurrent Merge calls; the default router is.
+func WithParallelism(n int) Option {
+	return func(c *config) { c.parallelism = n }
+}
+
 // WithVerification enables the verify stage: every run ends with the golden
 // transient simulation and Result.Verification is populated.
 func WithVerification(opt spice.Options) Option {
@@ -141,6 +158,18 @@ func WithVerifier(v Verifier) Option {
 // as long as any custom stages installed on it are.
 type Flow struct {
 	cfg config
+	// emitMu serializes observer invocations: events may originate from
+	// RunBatch workers and from the intra-run level scheduler, but the
+	// observer sees them one at a time, in a valid per-level order.
+	emitMu sync.Mutex
+}
+
+// Parallelism returns the effective intra-run merge fan-out bound.
+func (f *Flow) Parallelism() int {
+	if f.cfg.parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return f.cfg.parallelism
 }
 
 // New assembles a Flow for the technology, applying defaults for every

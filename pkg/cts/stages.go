@@ -53,6 +53,8 @@ type correctionMergeRouter struct {
 
 // newDefaultMergeRouter builds a fresh default router; the underlying merger
 // memoizes per-load drivable lengths, so one instance serves exactly one run.
+// Within that run the merger's sharded cache makes it safe for the concurrent
+// Merge calls of the level scheduler (see WithParallelism).
 func (f *Flow) newDefaultMergeRouter() (MergeRouter, error) {
 	merger, err := mergeroute.New(f.cfg.tech, mergeroute.Config{
 		Lib:        f.cfg.library,
@@ -71,7 +73,7 @@ func (r *correctionMergeRouter) Merge(ctx context.Context, a, b *mergeroute.Subt
 	}
 	composite := a.Children[0] != nil && a.Children[1] != nil && b.Children[0] != nil && b.Children[1] != nil
 	if r.settings.Correction == CorrectionNone || !composite {
-		merged, err := r.merger.Merge(a, b)
+		merged, err := r.merger.Merge(ctx, a, b)
 		return merged, 0, err
 	}
 
@@ -118,7 +120,7 @@ func (r *correctionMergeRouter) Merge(ctx context.Context, a, b *mergeroute.Subt
 			} else {
 				feasible := true
 				for _, pr := range pairing {
-					trial, err := r.merger.Merge(pr[0], pr[1])
+					trial, err := r.merger.Merge(ctx, pr[0], pr[1])
 					if err != nil {
 						feasible = false
 						break
@@ -144,21 +146,21 @@ func (r *correctionMergeRouter) Merge(ctx context.Context, a, b *mergeroute.Subt
 		for _, gc := range []*mergeroute.Subtree{a1, a2, b1, b2} {
 			gc.Root.WireLen = originalWire[gc.Root]
 		}
-		merged, err := r.merger.Merge(a, b)
+		merged, err := r.merger.Merge(ctx, a, b)
 		return merged, 0, err
 	}
 
 	// Rebuild the winning pairing from scratch and merge its two halves.
 	mergeroute.Detach(a1, a2, b1, b2)
-	left, err := r.merger.Merge(pairings[best][0][0], pairings[best][0][1])
+	left, err := r.merger.Merge(ctx, pairings[best][0][0], pairings[best][0][1])
 	if err != nil {
 		return nil, 0, err
 	}
-	right, err := r.merger.Merge(pairings[best][1][0], pairings[best][1][1])
+	right, err := r.merger.Merge(ctx, pairings[best][1][0], pairings[best][1][1])
 	if err != nil {
 		return nil, 0, err
 	}
-	merged, err := r.merger.Merge(left, right)
+	merged, err := r.merger.Merge(ctx, left, right)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -12,6 +12,7 @@
 //	cts -bench r3 -progress            # per-stage pipeline progress on stderr
 //	cts -bench r3 -metrics             # per-stage counters/histograms on stderr
 //	cts -bench r4 -parallelism 8       # bound the intra-run merge fan-out
+//	cts -bench r5 -topology bipartition  # recursive-geometric pairing strategy
 package main
 
 import (
@@ -47,7 +48,8 @@ func main() {
 		deck       = flag.String("deck", "", "write the synthesized tree as a SPICE-style deck to this file")
 		noVerify   = flag.Bool("no-verify", false, "skip the transient verification")
 		jsonOut    = flag.Bool("json", false, "print the cts.Result JSON instead of the human-readable report")
-		progress   = flag.Bool("progress", false, "print per-stage pipeline progress to stderr")
+		progress   = flag.Bool("progress", false, "render pipeline progress to stderr (live status line on a terminal)")
+		topo       = flag.String("topology", "greedy", "pairing strategy: greedy (indexed, the paper's matching) or bipartition")
 		metrics    = flag.Bool("metrics", false, "print per-stage counters and elapsed histograms to stderr after the run")
 		par        = flag.Int("parallelism", 0, "intra-run merge fan-out workers per level (0 = GOMAXPROCS, 1 = sequential)")
 	)
@@ -78,12 +80,17 @@ func main() {
 	if err != nil {
 		log.Fatalf("unknown correction mode %q (want none, reestimate, full)", *correction)
 	}
+	strategy, err := cts.ParseTopologyStrategy(*topo)
+	if err != nil {
+		log.Fatalf("unknown topology strategy %q (want greedy, bipartition)", *topo)
+	}
 
 	opts := []cts.Option{
 		cts.WithLibrary(lib),
 		cts.WithSlewLimit(*slewLimit),
 		cts.WithGrid(*gridSize),
 		cts.WithCorrection(mode),
+		cts.WithTopologyStrategy(strategy),
 		cts.WithParallelism(*par),
 	}
 	if !*noVerify {
@@ -94,9 +101,14 @@ func main() {
 	var stats *cts.MetricsObserver
 	var observers []cts.Observer
 	if *progress {
-		observers = append(observers, printProgress)
-	}
-	if *metrics {
+		renderer := cts.NewProgressRenderer(os.Stderr, stderrIsTerminal())
+		observers = append(observers, renderer.Observe)
+		if *metrics {
+			// The renderer already aggregates every event; reuse its
+			// metrics instead of folding the stream twice.
+			stats = renderer.Metrics()
+		}
+	} else if *metrics {
 		stats = cts.NewMetricsObserver()
 		observers = append(observers, stats.Observe)
 	}
@@ -160,25 +172,11 @@ func main() {
 	}
 }
 
-// printProgress renders pipeline events as one stderr line each.
-func printProgress(e cts.Event) {
-	switch e.Kind {
-	case cts.EventFlowStart:
-		fmt.Fprintf(os.Stderr, "flow: start (%d sinks)\n", e.Sinks)
-	case cts.EventLevelDone:
-		fmt.Fprintf(os.Stderr, "flow: level %d done: %d pairs merged, %d flippings, %d sub-trees left (%v)\n",
-			e.Level, e.Pairs, e.Flips, e.Subtrees, e.Elapsed.Round(1e6))
-	case cts.EventStageEnd:
-		if e.Level == 0 { // whole-flow stages; per-level stages are covered by level-done
-			fmt.Fprintf(os.Stderr, "flow: stage %s done (%v)\n", e.Stage, e.Elapsed.Round(1e6))
-		}
-	case cts.EventFlowEnd:
-		if e.Err != nil {
-			fmt.Fprintf(os.Stderr, "flow: failed after %v: %v\n", e.Elapsed.Round(1e6), e.Err)
-		} else {
-			fmt.Fprintf(os.Stderr, "flow: done in %v\n", e.Elapsed.Round(1e6))
-		}
-	}
+// stderrIsTerminal reports whether stderr is a character device, selecting
+// the progress renderer's live status-line mode.
+func stderrIsTerminal() bool {
+	fi, err := os.Stderr.Stat()
+	return err == nil && fi.Mode()&os.ModeCharDevice != 0
 }
 
 func buildLibrary(t *tech.Technology, analytic bool, path string) (*charlib.Library, error) {

@@ -108,6 +108,10 @@ type Options struct {
 	// SourcePos, when non-nil, is the clock source location; nil places the
 	// source at the tree root.
 	SourcePos *geom.Point
+	// Matcher selects the per-level pairing strategy; nil selects the
+	// default indexed greedy matcher (topology.Greedy, O(n log n) via the
+	// internal/spatial nearest-neighbour index).
+	Matcher topology.Matcher
 }
 
 type subtree struct {
@@ -137,6 +141,10 @@ func Synthesize(ctx context.Context, t *tech.Technology, sinks []Sink, opt Optio
 	if opt.Alpha == 0 && opt.Beta == 0 {
 		opt.Alpha = 1
 	}
+	matcher := opt.Matcher
+	if matcher == nil {
+		matcher = topology.Greedy{}
+	}
 	current := make([]*subtree, len(sinks))
 	for i, s := range sinks {
 		if s.Cap <= 0 {
@@ -156,7 +164,7 @@ func Synthesize(ctx context.Context, t *tech.Technology, sinks []Sink, opt Optio
 		for i, st := range current {
 			items[i] = topology.Item{Pos: st.arc.Center(), Delay: st.delay}
 		}
-		pairs, seed := topology.Match(items, opt.Alpha, opt.Beta)
+		pairs, seed := matcher.Match(items, opt.Alpha, opt.Beta)
 		var next []*subtree
 		if seed >= 0 {
 			next = append(next, current[seed])

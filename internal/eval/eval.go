@@ -43,6 +43,10 @@ type Config struct {
 	// Workers bounds the cts.RunBatch worker pool that synthesizes the
 	// table benchmarks concurrently (0 = GOMAXPROCS).
 	Workers int
+	// Topology selects the pairing strategy for every synthesized table
+	// entry (default cts.TopologyGreedy, the paper's indexed matching);
+	// the DME baselines always use the paper's greedy pairing.
+	Topology cts.TopologyStrategy
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -142,6 +146,7 @@ func tableFlow(cfg Config, extra ...cts.Option) (*cts.Flow, error) {
 		cts.WithLibrary(cfg.Library),
 		cts.WithSlewLimit(cfg.SlewLimit),
 		cts.WithVerification(spice.Options{TimeStep: cfg.SimStep}),
+		cts.WithTopologyStrategy(cfg.Topology),
 		cts.WithParallelism(1),
 	}, extra...)
 	return cts.New(cfg.Tech, opts...)

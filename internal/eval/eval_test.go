@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/charlib"
 	"repro/internal/tech"
+	"repro/pkg/cts"
 )
 
 // smallConfig keeps the experiments small enough for the test suite: scaled
@@ -48,6 +49,25 @@ func TestTable51ShapeHolds(t *testing.T) {
 	text := table.Render()
 	if !strings.Contains(text, "Table 5.1") || !strings.Contains(text, "r1") {
 		t.Error("rendering incomplete")
+	}
+}
+
+// TestTable51TopologyStrategy plumbs the pairing strategy through the table
+// experiments: the bipartition flow must synthesize every row and still
+// honour the slew limit.
+func TestTable51TopologyStrategy(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Benchmarks = []string{"r1"}
+	cfg.Topology = cts.TopologyBipartition
+	table, err := Table51(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 1 {
+		t.Fatalf("rows = %d, want 1", len(table.Rows))
+	}
+	if r := table.Rows[0]; r.WorstSlew > 100 || r.Buffers == 0 {
+		t.Errorf("bipartition row implausible: %+v", r)
 	}
 }
 

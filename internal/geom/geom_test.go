@@ -86,6 +86,37 @@ func TestCentroid(t *testing.T) {
 	}
 }
 
+// TestEmptyInputGuards pins the empty-input contracts: aggregates over zero
+// points must return their zero values rather than letting a naive
+// fold-from-±Inf (or a 0/0 mean) leak NaN or ±Inf into downstream geometry —
+// the topology matchers call both on possibly-empty unmatched sets.
+func TestEmptyInputGuards(t *testing.T) {
+	c := Centroid(nil)
+	if c != (Point{}) {
+		t.Errorf("Centroid(nil) = %v, want zero point", c)
+	}
+	if math.IsNaN(c.X) || math.IsNaN(c.Y) {
+		t.Errorf("Centroid(nil) produced NaN: %v", c)
+	}
+	for _, bb := range []Rect{BoundingBox(nil), BoundingBox([]Point{})} {
+		if bb != (Rect{}) {
+			t.Errorf("BoundingBox(empty) = %+v, want zero rect", bb)
+		}
+		for _, v := range []float64{bb.Lo.X, bb.Lo.Y, bb.Hi.X, bb.Hi.Y, bb.Width(), bb.Height()} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Errorf("BoundingBox(empty) propagated NaN/Inf: %+v", bb)
+			}
+		}
+	}
+	// Single-point degenerate cases collapse to the point, not to ±Inf.
+	if c := Centroid([]Point{Pt(3, 4)}); c != Pt(3, 4) {
+		t.Errorf("Centroid of one point = %v, want (3,4)", c)
+	}
+	if bb := BoundingBox([]Point{Pt(3, 4)}); bb.Lo != Pt(3, 4) || bb.Hi != Pt(3, 4) {
+		t.Errorf("BoundingBox of one point = %+v", bb)
+	}
+}
+
 func TestRect(t *testing.T) {
 	r := NewRect(Pt(5, 1), Pt(1, 7))
 	if r.Lo != Pt(1, 1) || r.Hi != Pt(5, 7) {

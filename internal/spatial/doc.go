@@ -1,0 +1,44 @@
+// Package spatial provides the spatial-index subsystem behind the O(n log n)
+// topology pairing: a static Manhattan k-d tree over sub-tree root positions
+// combined with a delay-sorted secondary index, both supporting deletion, so
+// the greedy matcher of internal/topology can replace its O(n) inner scan
+// with an indexed nearest-neighbour query under the equation 4.1 cost
+//
+//	cost(q, p) = alpha*Manhattan(q, p) + beta*|q.Delay - p.Delay|.
+//
+// # Pruning bounds
+//
+// Both halves of the index prune with lower bounds of the cost:
+//
+//   - The k-d tree stores, per subtree, the bounding rectangle and the delay
+//     range [minDelay, maxDelay] of the items below it.  For a query q the
+//     bound alpha*rectDist(q, rect) + beta*gap(q.Delay, [minDelay, maxDelay])
+//     never exceeds the cost of any item in the subtree (cost >= alpha*dist
+//     and cost >= beta*|Δdelay|, and both rectDist and gap are component-wise
+//     lower bounds), so a best-first traversal can discard a whole subtree
+//     once its bound exceeds the best cost found so far.
+//   - The secondary index keeps the items sorted by delay.  Scanning outward
+//     from the query's delay visits candidates in non-decreasing
+//     beta*|Δdelay| order, and because cost >= beta*|Δdelay| the scan is
+//     complete as soon as that bound strictly exceeds the best cost on both
+//     sides.
+//
+// A query first walks the delay index for a bounded number of steps (which
+// alone decides beta-dominant queries and seeds a tight best cost), then
+// finishes with the best-first k-d traversal (which decides alpha-dominant
+// queries and the general case).  Either structure is exact on its own; the
+// combination just prunes well across the whole alpha/beta range.
+//
+// All floating-point bounds are computed with the same operations as the
+// cost itself, and rounding is monotone, so bound <= cost holds exactly in
+// float64 arithmetic — pruning never changes the result, which is what lets
+// the indexed greedy matcher reproduce the brute-force matching bit for bit.
+//
+// # Determinism
+//
+// Queries resolve cost ties toward the lowest item index.  To keep that
+// exact under pruning, every k-d subtree also tracks the minimum active item
+// index below it: a subtree whose bound equals the current best cost is only
+// skipped when it cannot contain a lower index than the current best
+// candidate.
+package spatial

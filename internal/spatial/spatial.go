@@ -1,0 +1,444 @@
+package spatial
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Item is one indexed candidate: a position in the plane and the root-to-sink
+// delay used by the beta term of the pairing cost.
+type Item struct {
+	Pos   geom.Point
+	Delay float64
+}
+
+// leafSize is the k-d tree bucket size; leaves hold up to this many items and
+// are scanned linearly.
+const leafSize = 8
+
+// delayScanCap bounds the number of candidates the delay-sorted index
+// examines before the query falls back to the k-d traversal.  The scan
+// decides beta-dominant queries outright and otherwise seeds the best cost
+// the tree traversal prunes with.
+const delayScanCap = 24
+
+// node is one k-d tree node.  Internal nodes reference their children;
+// leaves own the permutation range [start, end).
+type node struct {
+	rect               geom.Rect
+	minDelay, maxDelay float64
+	left, right        int32 // -1 for leaves
+	parent             int32
+	start, end         int32 // perm range (leaves only)
+	active             int32 // active items below this node
+	minActive          int32 // minimum active item index below, or n when none
+}
+
+// Index is a deletion-capable nearest-neighbour index over a fixed item set
+// under the cost alpha*Manhattan + beta*|Δdelay|.  It is built once with New
+// and shrinks through Deactivate as the matcher consumes items; it is not
+// safe for concurrent use.
+type Index struct {
+	items  []Item
+	alive  []bool
+	nAlive int
+
+	// k-d tree (primary, position-ordered).
+	nodes  []node
+	perm   []int32 // item indices partitioned by the tree structure
+	leafOf []int32 // item index -> leaf node id
+
+	// Delay-sorted secondary index with path-compressed alive-skip links.
+	byDelay []int32 // item indices sorted by (delay, index)
+	rankOf  []int32 // item index -> rank in byDelay
+	skipUp  []int32 // rank -> a rank >= it that is closer to the next alive rank
+	skipDn  []int32
+}
+
+// New builds the index over the items.  Every item starts active.
+func New(items []Item) *Index {
+	n := len(items)
+	ix := &Index{
+		items:   items,
+		alive:   make([]bool, n),
+		nAlive:  n,
+		perm:    make([]int32, n),
+		leafOf:  make([]int32, n),
+		byDelay: make([]int32, n),
+		rankOf:  make([]int32, n),
+		skipUp:  make([]int32, n),
+		skipDn:  make([]int32, n),
+	}
+	for i := 0; i < n; i++ {
+		ix.alive[i] = true
+		ix.perm[i] = int32(i)
+		ix.byDelay[i] = int32(i)
+		ix.skipUp[i] = int32(i)
+		ix.skipDn[i] = int32(i)
+	}
+	sort.Slice(ix.byDelay, func(a, b int) bool {
+		da, db := items[ix.byDelay[a]].Delay, items[ix.byDelay[b]].Delay
+		if da != db {
+			return da < db
+		}
+		return ix.byDelay[a] < ix.byDelay[b]
+	})
+	for r, i := range ix.byDelay {
+		ix.rankOf[i] = int32(r)
+	}
+	if n > 0 {
+		ix.build(0, int32(n), -1)
+	}
+	return ix
+}
+
+// build constructs the subtree over perm[lo:hi) and returns its node id.
+func (ix *Index) build(lo, hi, parent int32) int32 {
+	id := int32(len(ix.nodes))
+	nd := node{left: -1, right: -1, parent: parent, start: lo, end: hi, active: hi - lo}
+	nd.rect = geom.Rect{Lo: ix.items[ix.perm[lo]].Pos, Hi: ix.items[ix.perm[lo]].Pos}
+	nd.minDelay, nd.maxDelay = ix.items[ix.perm[lo]].Delay, ix.items[ix.perm[lo]].Delay
+	nd.minActive = ix.perm[lo]
+	for _, i := range ix.perm[lo+1 : hi] {
+		it := ix.items[i]
+		nd.rect = nd.rect.Include(it.Pos)
+		nd.minDelay = math.Min(nd.minDelay, it.Delay)
+		nd.maxDelay = math.Max(nd.maxDelay, it.Delay)
+		if i < nd.minActive {
+			nd.minActive = i
+		}
+	}
+	ix.nodes = append(ix.nodes, nd)
+
+	if hi-lo <= leafSize {
+		for _, i := range ix.perm[lo:hi] {
+			ix.leafOf[i] = id
+		}
+		return id
+	}
+
+	// Split on the wider rectangle dimension at the median position; ties in
+	// the coordinate break by item index so the build is deterministic.
+	byX := nd.rect.Width() >= nd.rect.Height()
+	mid := (lo + hi) / 2
+	ix.selectNth(lo, hi, mid, byX)
+
+	left := ix.build(lo, mid, id)
+	right := ix.build(mid, hi, id)
+	ix.nodes[id].left, ix.nodes[id].right = left, right
+	return id
+}
+
+// coordLess orders items by one coordinate with an index tie-break.
+func (ix *Index) coordLess(a, b int32, byX bool) bool {
+	var ca, cb float64
+	if byX {
+		ca, cb = ix.items[a].Pos.X, ix.items[b].Pos.X
+	} else {
+		ca, cb = ix.items[a].Pos.Y, ix.items[b].Pos.Y
+	}
+	if ca != cb {
+		return ca < cb
+	}
+	return a < b
+}
+
+// selectNth partially sorts perm[lo:hi) so that perm[nth] holds the element
+// of rank nth under coordLess (quickselect with median-of-three pivots).
+func (ix *Index) selectNth(lo, hi, nth int32, byX bool) {
+	for hi-lo > 2 {
+		// Median of three as the pivot value.
+		a, b, c := ix.perm[lo], ix.perm[(lo+hi)/2], ix.perm[hi-1]
+		if ix.coordLess(b, a, byX) {
+			a, b = b, a
+		}
+		if ix.coordLess(c, b, byX) {
+			b = c
+			if ix.coordLess(b, a, byX) {
+				a, b = b, a
+			}
+		}
+		pivot := b
+
+		// Hoare partition around pivot.
+		i, j := lo-1, hi
+		for {
+			for {
+				i++
+				if !ix.coordLess(ix.perm[i], pivot, byX) {
+					break
+				}
+			}
+			for {
+				j--
+				if !ix.coordLess(pivot, ix.perm[j], byX) {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			ix.perm[i], ix.perm[j] = ix.perm[j], ix.perm[i]
+		}
+		if nth <= j {
+			hi = j + 1
+		} else {
+			lo = j + 1
+		}
+	}
+	if hi-lo == 2 && ix.coordLess(ix.perm[lo+1], ix.perm[lo], byX) {
+		ix.perm[lo], ix.perm[lo+1] = ix.perm[lo+1], ix.perm[lo]
+	}
+}
+
+// Len returns the total number of indexed items.
+func (ix *Index) Len() int { return len(ix.items) }
+
+// ActiveCount returns how many items are still active.
+func (ix *Index) ActiveCount() int { return ix.nAlive }
+
+// Active reports whether item i is still active.
+func (ix *Index) Active(i int) bool { return ix.alive[i] }
+
+// Deactivate removes item i from all future queries.  Deactivating an
+// already-inactive item is a no-op.
+func (ix *Index) Deactivate(i int) {
+	if !ix.alive[i] {
+		return
+	}
+	ix.alive[i] = false
+	ix.nAlive--
+	n := int32(len(ix.items))
+	for id := ix.leafOf[i]; id >= 0; id = ix.nodes[id].parent {
+		nd := &ix.nodes[id]
+		nd.active--
+		if nd.left < 0 {
+			nd.minActive = n
+			for _, j := range ix.perm[nd.start:nd.end] {
+				if ix.alive[j] && j < nd.minActive {
+					nd.minActive = j
+				}
+			}
+		} else {
+			nd.minActive = ix.nodes[nd.left].minActive
+			if m := ix.nodes[nd.right].minActive; m < nd.minActive {
+				nd.minActive = m
+			}
+		}
+	}
+}
+
+// findUp returns the smallest alive rank >= r, or n when none, compressing
+// the skip links it crosses.
+func (ix *Index) findUp(r int32) int32 {
+	n := int32(len(ix.byDelay))
+	start := r
+	for r < n && !ix.alive[ix.byDelay[r]] {
+		next := ix.skipUp[r]
+		if next <= r {
+			next = r + 1
+		}
+		r = next
+	}
+	for j := start; j < r && j < n; {
+		next := ix.skipUp[j]
+		if next <= j {
+			next = j + 1
+		}
+		ix.skipUp[j] = r
+		j = next
+	}
+	return r
+}
+
+// findDown returns the largest alive rank <= r, or -1 when none.
+func (ix *Index) findDown(r int32) int32 {
+	start := r
+	for r >= 0 && !ix.alive[ix.byDelay[r]] {
+		next := ix.skipDn[r]
+		if next >= r {
+			next = r - 1
+		}
+		r = next
+	}
+	for j := start; j > r && j >= 0; {
+		next := ix.skipDn[j]
+		if next >= j {
+			next = j - 1
+		}
+		ix.skipDn[j] = r
+		j = next
+	}
+	return r
+}
+
+// cost evaluates the pairing cost with exactly the float64 operations of
+// topology.Cost, so indexed and brute-force searches agree bit for bit.
+func cost(q Item, p Item, alpha, beta float64) float64 {
+	return alpha*q.Pos.Manhattan(p.Pos) + beta*math.Abs(q.Delay-p.Delay)
+}
+
+// rectDist is the Manhattan distance from p to the rectangle (zero inside).
+func rectDist(p geom.Point, r geom.Rect) float64 {
+	var dx, dy float64
+	if p.X < r.Lo.X {
+		dx = r.Lo.X - p.X
+	} else if p.X > r.Hi.X {
+		dx = p.X - r.Hi.X
+	}
+	if p.Y < r.Lo.Y {
+		dy = r.Lo.Y - p.Y
+	} else if p.Y > r.Hi.Y {
+		dy = p.Y - r.Hi.Y
+	}
+	return dx + dy
+}
+
+// delayGap is the distance from d to the interval [lo, hi] (zero inside).
+func delayGap(d, lo, hi float64) float64 {
+	if d < lo {
+		return lo - d
+	}
+	if d > hi {
+		return d - hi
+	}
+	return 0
+}
+
+// boundEntry is one best-first frontier entry.
+type boundEntry struct {
+	bound float64
+	node  int32
+}
+
+// Nearest returns the active item minimizing
+// alpha*Manhattan(q.Pos, item.Pos) + beta*|q.Delay - item.Delay|, breaking
+// cost ties toward the lowest item index, together with its cost.  It returns
+// (-1, +Inf) when no item is active.  The query item itself must be
+// deactivated first if self-matches are to be excluded.  alpha and beta must
+// be non-negative.
+func (ix *Index) Nearest(q Item, alpha, beta float64) (int, float64) {
+	best, bestCost := -1, math.Inf(1)
+	if ix.nAlive == 0 {
+		return best, bestCost
+	}
+	consider := func(j int32) {
+		c := cost(q, ix.items[j], alpha, beta)
+		if c < bestCost || (c == bestCost && int(j) < best) {
+			best, bestCost = int(j), c
+		}
+	}
+
+	// Phase 1: walk the delay-sorted index outward from q.Delay.  Candidates
+	// arrive in non-decreasing beta*|Δdelay| order per side, so a side is
+	// complete once that bound strictly exceeds the best cost; when both
+	// sides are complete the scan alone is exact and the query is done.
+	// With beta == 0 the bound can never close a side, so the scan would be
+	// delayScanCap wasted cost evaluations — skip straight to the k-d tree.
+	if beta > 0 {
+		n := int32(len(ix.byDelay))
+		pos := int32(sort.Search(int(n), func(r int) bool {
+			return ix.items[ix.byDelay[r]].Delay >= q.Delay
+		}))
+		up, dn := ix.findUp(pos), ix.findDown(pos-1)
+		upOpen, dnOpen := up < n, dn >= 0
+		for steps := 0; steps < delayScanCap && (upOpen || dnOpen); steps++ {
+			upBound, dnBound := math.Inf(1), math.Inf(1)
+			if upOpen {
+				upBound = beta * math.Abs(q.Delay-ix.items[ix.byDelay[up]].Delay)
+				if upBound > bestCost {
+					upOpen = false
+				}
+			}
+			if dnOpen {
+				dnBound = beta * math.Abs(q.Delay-ix.items[ix.byDelay[dn]].Delay)
+				if dnBound > bestCost {
+					dnOpen = false
+				}
+			}
+			switch {
+			case upOpen && (!dnOpen || upBound <= dnBound):
+				consider(ix.byDelay[up])
+				up = ix.findUp(up + 1)
+				upOpen = up < n
+			case dnOpen:
+				consider(ix.byDelay[dn])
+				dn = ix.findDown(dn - 1)
+				dnOpen = dn >= 0
+			}
+		}
+		if !upOpen && !dnOpen {
+			return best, bestCost
+		}
+	}
+
+	// Phase 2: best-first k-d traversal.  Subtrees are pruned when their
+	// bound exceeds the best cost, or — on an exact tie — when they cannot
+	// contain a lower index than the current best candidate.
+	heap := make([]boundEntry, 0, 64)
+	push := func(id int32) {
+		nd := &ix.nodes[id]
+		if nd.active == 0 {
+			return
+		}
+		b := alpha*rectDist(q.Pos, nd.rect) + beta*delayGap(q.Delay, nd.minDelay, nd.maxDelay)
+		if b > bestCost || (b == bestCost && int(nd.minActive) > best && best >= 0) {
+			return
+		}
+		heap = append(heap, boundEntry{bound: b, node: id})
+		for c := len(heap) - 1; c > 0; {
+			p := (c - 1) / 2
+			if heap[p].bound <= heap[c].bound {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			c = p
+		}
+	}
+	pop := func() boundEntry {
+		top := heap[0]
+		last := len(heap) - 1
+		heap[0] = heap[last]
+		heap = heap[:last]
+		for p := 0; ; {
+			c := 2*p + 1
+			if c >= last {
+				break
+			}
+			if c+1 < last && heap[c+1].bound < heap[c].bound {
+				c++
+			}
+			if heap[p].bound <= heap[c].bound {
+				break
+			}
+			heap[p], heap[c] = heap[c], heap[p]
+			p = c
+		}
+		return top
+	}
+
+	push(0)
+	for len(heap) > 0 {
+		e := pop()
+		if e.bound > bestCost {
+			break
+		}
+		nd := &ix.nodes[e.node]
+		if nd.active == 0 || (e.bound == bestCost && best >= 0 && int(nd.minActive) > best) {
+			continue
+		}
+		if nd.left < 0 {
+			for _, j := range ix.perm[nd.start:nd.end] {
+				if ix.alive[j] {
+					consider(j)
+				}
+			}
+			continue
+		}
+		push(nd.left)
+		push(nd.right)
+	}
+	return best, bestCost
+}

@@ -1,0 +1,135 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// bruteNearest is the reference query: scan every active item in index order
+// with the same float64 cost expression the index uses.
+func bruteNearest(items []Item, alive []bool, q Item, alpha, beta float64) (int, float64) {
+	best, bestCost := -1, math.Inf(1)
+	for j, it := range items {
+		if !alive[j] {
+			continue
+		}
+		if c := cost(q, it, alpha, beta); c < bestCost {
+			best, bestCost = j, c
+		}
+	}
+	return best, bestCost
+}
+
+// randomItems generates n items; quantizing positions and delays onto a
+// coarse grid provokes duplicate positions, equal delays and exact cost ties.
+func randomItems(rng *rand.Rand, n int, quantize bool) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		x, y, d := rng.Float64()*1000, rng.Float64()*1000, rng.Float64()*200
+		if quantize {
+			x, y, d = math.Floor(x/100)*100, math.Floor(y/100)*100, math.Floor(d/50)*50
+		}
+		items[i] = Item{Pos: geom.Pt(x, y), Delay: d}
+	}
+	return items
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := rng.Intn(120) + 2
+		quantize := trial%2 == 1
+		items := randomItems(rng, n, quantize)
+		alpha, beta := rng.Float64()*2, rng.Float64()*40
+		switch trial % 5 {
+		case 2:
+			alpha = 0 // beta-dominant: the delay scan must carry the query
+		case 3:
+			beta = 0 // alpha-dominant: the k-d traversal must carry it
+		}
+
+		ix := New(items)
+		alive := make([]bool, n)
+		for i := range alive {
+			alive[i] = true
+		}
+
+		// Interleave queries and deactivations the way the greedy matcher
+		// does: query from a deactivated item, then kill the answer too.
+		for ix.ActiveCount() > 0 {
+			q := rng.Intn(n)
+			for !alive[q] {
+				q = (q + 1) % n
+			}
+			ix.Deactivate(q)
+			alive[q] = false
+
+			wantIdx, wantCost := bruteNearest(items, alive, items[q], alpha, beta)
+			gotIdx, gotCost := ix.Nearest(items[q], alpha, beta)
+			if gotIdx != wantIdx || gotCost != wantCost {
+				t.Fatalf("trial %d (n=%d alpha=%v beta=%v): Nearest = (%d, %v), want (%d, %v)",
+					trial, n, alpha, beta, gotIdx, gotCost, wantIdx, wantCost)
+			}
+			if gotIdx >= 0 {
+				ix.Deactivate(gotIdx)
+				alive[gotIdx] = false
+			}
+		}
+	}
+}
+
+func TestNearestTieBreaksTowardLowestIndex(t *testing.T) {
+	// Every item coincides: all costs are exactly zero, so the query must
+	// return the lowest active index every time.
+	n := 50
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{Pos: geom.Pt(10, 10), Delay: 5}
+	}
+	ix := New(items)
+	ix.Deactivate(n - 1) // query item
+	for want := 0; want < n-1; want++ {
+		got, c := ix.Nearest(items[n-1], 1, 20)
+		if got != want || c != 0 {
+			t.Fatalf("Nearest = (%d, %v), want (%d, 0)", got, c, want)
+		}
+		ix.Deactivate(got)
+	}
+	if got, c := ix.Nearest(items[n-1], 1, 20); got != -1 || !math.IsInf(c, 1) {
+		t.Errorf("empty index: Nearest = (%d, %v), want (-1, +Inf)", got, c)
+	}
+}
+
+func TestDeactivateBookkeeping(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	items := randomItems(rng, 37, false)
+	ix := New(items)
+	if ix.Len() != 37 || ix.ActiveCount() != 37 {
+		t.Fatalf("Len/ActiveCount = %d/%d, want 37/37", ix.Len(), ix.ActiveCount())
+	}
+	ix.Deactivate(5)
+	ix.Deactivate(5) // idempotent
+	if ix.ActiveCount() != 36 || ix.Active(5) {
+		t.Errorf("after Deactivate(5): count %d, active(5) %v", ix.ActiveCount(), ix.Active(5))
+	}
+	for i := range items {
+		ix.Deactivate(i)
+	}
+	if ix.ActiveCount() != 0 {
+		t.Errorf("count = %d after full deactivation, want 0", ix.ActiveCount())
+	}
+}
+
+func TestNearestEmptyAndSingle(t *testing.T) {
+	ix := New(nil)
+	if got, _ := ix.Nearest(Item{}, 1, 1); got != -1 {
+		t.Errorf("empty index returned %d", got)
+	}
+	one := New([]Item{{Pos: geom.Pt(3, 4), Delay: 7}})
+	if got, c := one.Nearest(Item{Pos: geom.Pt(0, 0), Delay: 0}, 1, 1); got != 0 || c != 7+7 {
+		t.Errorf("single-item index: (%d, %v), want (0, 14)", got, c)
+	}
+}

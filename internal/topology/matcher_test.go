@@ -1,0 +1,213 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// randomInstance generates a pairing instance; quantized instances place
+// items on a coarse grid to provoke duplicate positions, equal delays and
+// exact cost ties — the cases where only the documented index-ordered
+// tie-breaking keeps the two matchers identical.
+func randomInstance(rng *rand.Rand, n int, quantize bool) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		x, y, d := rng.Float64()*8000, rng.Float64()*8000, rng.Float64()*300
+		if quantize {
+			x, y, d = math.Floor(x/800)*800, math.Floor(y/800)*800, math.Floor(d/75)*75
+		}
+		items[i] = Item{Pos: geom.Pt(x, y), Delay: d}
+	}
+	return items
+}
+
+// TestGreedyMatchesBruteForce is the indexed path's exactness property test:
+// on 200 random instances — varying alpha/beta (including zero weights),
+// duplicate positions and equal delays — the indexed Greedy matcher must
+// return exactly the pairs and seed of the O(n²) BruteForce reference.
+func TestGreedyMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		// Straddle indexedThreshold so both the brute cutover and the
+		// genuinely indexed path are exercised.
+		n := rng.Intn(200) + 2
+		quantize := trial%2 == 1
+		items := randomInstance(rng, n, quantize)
+		alpha, beta := rng.Float64()*2, rng.Float64()*40
+		switch trial % 5 {
+		case 2:
+			alpha = 0
+		case 3:
+			beta = 0
+		}
+
+		wantPairs, wantSeed := BruteForce{}.Match(items, alpha, beta)
+		gotPairs, gotSeed := Greedy{}.Match(items, alpha, beta)
+		if gotSeed != wantSeed {
+			t.Fatalf("trial %d (n=%d alpha=%v beta=%v): seed = %d, want %d",
+				trial, n, alpha, beta, gotSeed, wantSeed)
+		}
+		if !reflect.DeepEqual(gotPairs, wantPairs) {
+			t.Fatalf("trial %d (n=%d alpha=%v beta=%v): pairs diverge\nindexed: %v\nbrute:   %v",
+				trial, n, alpha, beta, gotPairs, wantPairs)
+		}
+		// Force the indexed path regardless of the small-level cutover, so
+		// instances below indexedThreshold still exercise the spatial index.
+		forcedPairs, forcedSeed := matchGreedy(items, alpha, beta, alpha >= 0 && beta >= 0)
+		if forcedSeed != wantSeed || !reflect.DeepEqual(forcedPairs, wantPairs) {
+			t.Fatalf("trial %d (n=%d alpha=%v beta=%v): forced-index pairs diverge\nindexed: %v\nbrute:   %v",
+				trial, n, alpha, beta, forcedPairs, wantPairs)
+		}
+	}
+}
+
+// TestGreedyFallsBackOnInvalidWeights checks that negative or NaN weights
+// take the brute-force path (the pruning bounds assume non-negative weights)
+// and still agree with the reference.
+func TestGreedyFallsBackOnInvalidWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	items := randomInstance(rng, 100, false)
+	for _, w := range []struct{ alpha, beta float64 }{
+		{-1, 20}, {1, -5}, {math.NaN(), 1},
+	} {
+		wantPairs, wantSeed := BruteForce{}.Match(items, w.alpha, w.beta)
+		gotPairs, gotSeed := Greedy{}.Match(items, w.alpha, w.beta)
+		if gotSeed != wantSeed || !reflect.DeepEqual(gotPairs, wantPairs) {
+			t.Errorf("weights (%v, %v): indexed and brute matchings diverge", w.alpha, w.beta)
+		}
+	}
+}
+
+// checkValidMatching asserts the Matcher contract: disjoint pairs, every
+// item either matched or the unique seed, seed parity, and the shared
+// max-delay seed rule.
+func checkValidMatching(t *testing.T, items []Item, pairs []Pair, seed int) {
+	t.Helper()
+	n := len(items)
+	used := make(map[int]bool)
+	if seed >= 0 {
+		used[seed] = true
+	}
+	for _, p := range pairs {
+		if p.A == p.B || used[p.A] || used[p.B] {
+			t.Fatalf("invalid or overlapping pair %+v", p)
+		}
+		used[p.A], used[p.B] = true, true
+	}
+	if len(used) != n {
+		t.Fatalf("%d of %d items consumed", len(used), n)
+	}
+	if (n%2 == 1) != (seed >= 0) {
+		t.Fatalf("seed %d does not match parity of n=%d", seed, n)
+	}
+	if seed >= 0 {
+		want := seedIndex(items)
+		if seed != want {
+			t.Fatalf("seed = %d, want max-delay item %d", seed, want)
+		}
+	}
+}
+
+func TestBipartitionProducesValidMatchings(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(300) + 2
+		items := randomInstance(rng, n, trial%2 == 0)
+		pairs, seed := Bipartition{}.Match(items, 1, 20)
+		checkValidMatching(t, items, pairs, seed)
+	}
+	// Degenerate sizes.
+	if pairs, seed := (Bipartition{}).Match(nil, 1, 1); pairs != nil || seed != -1 {
+		t.Error("empty input should produce no pairs and no seed")
+	}
+	if pairs, seed := (Bipartition{}).Match([]Item{{Pos: geom.Pt(1, 1)}}, 1, 1); len(pairs) != 0 || seed != 0 {
+		t.Error("single item should become the seed")
+	}
+}
+
+// TestBipartitionPairsStayLocal checks the strategy's geometric promise on a
+// well-separated instance: two distant clusters must never be paired across.
+func TestBipartitionPairsStayLocal(t *testing.T) {
+	var items []Item
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 32; i++ {
+		items = append(items, Item{Pos: geom.Pt(rng.Float64()*100, rng.Float64()*100)})
+	}
+	for i := 0; i < 32; i++ {
+		items = append(items, Item{Pos: geom.Pt(50000+rng.Float64()*100, rng.Float64()*100)})
+	}
+	pairs, _ := Bipartition{}.Match(items, 1, 0)
+	for _, p := range pairs {
+		if (p.A < 32) != (p.B < 32) {
+			t.Fatalf("pair %+v crosses the cluster gap", p)
+		}
+	}
+}
+
+// TestMatchDeterministicUnderTies pins the documented index-ordered
+// tie-breaking: on a fully degenerate instance (all positions and delays
+// equal) both matchers must produce the identity-ordered pairing (0,1),
+// (2,3), ... with the seed at index 0 for odd counts.
+func TestMatchDeterministicUnderTies(t *testing.T) {
+	for _, n := range []int{2, 7, 64, 129} {
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Pos: geom.Pt(100, 100), Delay: 42}
+		}
+		for name, m := range map[string]Matcher{"greedy": Greedy{}, "brute": BruteForce{}} {
+			pairs, seed := m.Match(items, 1, 20)
+			wantSeed := -1
+			if n%2 == 1 {
+				wantSeed = 0
+			}
+			if seed != wantSeed {
+				t.Fatalf("%s n=%d: seed = %d, want %d (lowest index among delay ties)", name, n, seed, wantSeed)
+			}
+			next := 0
+			if wantSeed == 0 {
+				next = 1
+			}
+			for _, p := range pairs {
+				if p.A != next || p.B != next+1 {
+					t.Fatalf("%s n=%d: pair %+v, want {%d %d} (index-ordered ties)", name, n, p, next, next+1)
+				}
+				next += 2
+			}
+		}
+	}
+}
+
+func BenchmarkTopologyScale(b *testing.B) {
+	sizes := []int{1000, 10000, 100000, 500000}
+	bruteMax := 100000
+	if testing.Short() {
+		sizes = []int{1000, 5000}
+		bruteMax = 5000
+	}
+	for _, n := range sizes {
+		rng := rand.New(rand.NewSource(int64(n)))
+		items := randomInstance(rng, n, false)
+		b.Run(fmt.Sprintf("greedy_indexed/n_%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Greedy{}.Match(items, 1, 20)
+			}
+		})
+		b.Run(fmt.Sprintf("bipartition/n_%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Bipartition{}.Match(items, 1, 20)
+			}
+		})
+		if n <= bruteMax {
+			b.Run(fmt.Sprintf("brute_force/n_%d", n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					BruteForce{}.Match(items, 1, 20)
+				}
+			})
+		}
+	}
+}

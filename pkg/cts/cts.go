@@ -136,6 +136,68 @@ func ParseCorrection(s string) (Correction, error) {
 	return CorrectionNone, fmt.Errorf("cts: unknown correction mode %q", s)
 }
 
+// TopologyStrategy selects the pairing strategy of the default topology
+// stage (see WithTopologyStrategy).
+type TopologyStrategy int
+
+const (
+	// TopologyGreedy is the paper's greedy nearest-neighbour matching
+	// (Section 4.1.1), accelerated to O(n log n) per level by the
+	// internal/spatial index and bit-identical to the O(n²) reference scan.
+	// It is the default.
+	TopologyGreedy TopologyStrategy = iota
+	// TopologyBipartition is the recursive-geometric matcher: the level is
+	// median-split along its wider bounding-box dimension until small groups
+	// remain, which are matched greedily.  It trades the global equation 4.1
+	// matching for predictable divide-and-conquer structure and exists for
+	// scenario diversity in topology experiments.
+	TopologyBipartition
+)
+
+// String implements fmt.Stringer.
+func (s TopologyStrategy) String() string {
+	switch s {
+	case TopologyGreedy:
+		return "greedy"
+	case TopologyBipartition:
+		return "bipartition"
+	default:
+		return fmt.Sprintf("strategy(%d)", int(s))
+	}
+}
+
+// MarshalJSON encodes the strategy as its canonical token ("greedy",
+// "bipartition").
+func (s TopologyStrategy) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts any spelling ParseTopologyStrategy accepts.
+func (s *TopologyStrategy) UnmarshalJSON(b []byte) error {
+	str := string(b)
+	if len(str) >= 2 && str[0] == '"' && str[len(str)-1] == '"' {
+		str = str[1 : len(str)-1]
+	}
+	v, err := ParseTopologyStrategy(str)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// ParseTopologyStrategy parses a strategy name as used by flags and JSON:
+// "greedy" (or empty, the default) and "bipartition".
+func ParseTopologyStrategy(s string) (TopologyStrategy, error) {
+	switch s {
+	case "greedy", "":
+		return TopologyGreedy, nil
+	case "bipartition":
+		return TopologyBipartition, nil
+	}
+	return TopologyGreedy, fmt.Errorf("cts: unknown topology strategy %q", s)
+}
+
 // Item summarizes one sub-tree root for topology pairing: its position and
 // its root-to-sink latency.
 type Item struct {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/spice"
 	"repro/internal/tech"
+	"repro/internal/topology"
 )
 
 // Settings are the effective (defaulted) numeric parameters of a Flow; they
@@ -29,6 +30,9 @@ type Settings struct {
 	GridSize int `json:"gridSize"`
 	// Correction selects the H-structure handling.
 	Correction Correction `json:"correction"`
+	// Topology selects the pairing strategy of the default topology stage
+	// (default TopologyGreedy, the paper's matching on the spatial index).
+	Topology TopologyStrategy `json:"topology"`
 }
 
 // config is the assembled Flow configuration.
@@ -85,6 +89,16 @@ func WithGrid(r int) Option {
 // WithCorrection selects the H-structure handling (Section 4.1.2).
 func WithCorrection(mode Correction) Option {
 	return func(c *config) { c.settings.Correction = mode }
+}
+
+// WithTopologyStrategy selects the pairing strategy of the default topology
+// stage: TopologyGreedy (the paper's nearest-neighbour matching, O(n log n)
+// on the spatial index and bit-identical to the brute-force reference) or
+// TopologyBipartition (recursive geometric median splits).  It has no effect
+// when a custom stage is installed with WithTopologyBuilder, which replaces
+// the default stage entirely.
+func WithTopologyStrategy(s TopologyStrategy) Option {
+	return func(c *config) { c.settings.Topology = s }
 }
 
 // WithSource fixes the clock source location; without it the source is
@@ -208,7 +222,16 @@ func New(t *tech.Technology, opts ...Option) (*Flow, error) {
 	}
 
 	if c.topology == nil {
-		c.topology = &nearestNeighborTopology{alpha: s.Alpha, beta: s.Beta}
+		var m topology.Matcher
+		switch s.Topology {
+		case TopologyGreedy:
+			m = topology.Greedy{}
+		case TopologyBipartition:
+			m = topology.Bipartition{}
+		default:
+			return nil, fmt.Errorf("cts: unknown topology strategy %v", s.Topology)
+		}
+		c.topology = &matcherTopology{alpha: s.Alpha, beta: s.Beta, matcher: m}
 	}
 	if c.bufferer == nil {
 		c.bufferer = &feedBufferer{tech: t, slewTarget: s.SlewTarget}

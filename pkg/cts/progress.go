@@ -1,0 +1,128 @@
+package cts
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// ProgressRenderer turns the Observer event stream into terminal progress
+// output, backed by MetricsObserver snapshots for the aggregate figures it
+// prints.  Install its Observe method on a flow:
+//
+//	p := cts.NewProgressRenderer(os.Stderr, true)
+//	flow, _ := cts.New(t, cts.WithObserver(p.Observe))
+//
+// In interactive mode each update rewrites one status line in place (carriage
+// return + erase), ending with a newline-terminated summary when the run
+// finishes; in non-interactive mode every update is its own line, so logs
+// stay readable.  Events from concurrent RunBatch items are disambiguated by
+// their item name.  The renderer is safe for concurrent use.
+type ProgressRenderer struct {
+	mu          sync.Mutex
+	w           io.Writer
+	interactive bool
+	metrics     *MetricsObserver
+	// levels maps each in-flight run (RunBatch item name, or "" for a
+	// single Run) to its expected level count, ceil(log2 sinks).
+	levels map[string]int
+}
+
+// NewProgressRenderer returns a renderer writing to w.  interactive selects
+// the in-place status line (suitable when w is a terminal); pass false when
+// w is a pipe or log file.
+func NewProgressRenderer(w io.Writer, interactive bool) *ProgressRenderer {
+	return &ProgressRenderer{
+		w:           w,
+		interactive: interactive,
+		metrics:     NewMetricsObserver(),
+		levels:      map[string]int{},
+	}
+}
+
+// Metrics exposes the underlying aggregates, so a caller that installs the
+// renderer can print the final counter/histogram report without wiring a
+// second observer.
+func (p *ProgressRenderer) Metrics() *MetricsObserver { return p.metrics }
+
+// Observe folds one event into the display; it is an Observer.
+func (p *ProgressRenderer) Observe(e Event) {
+	p.metrics.Observe(e)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch e.Kind {
+	case EventFlowStart:
+		p.levels[e.Item] = topology.Levels(e.Sinks)
+		p.statusLine(e.Item, fmt.Sprintf("start: %d sinks, %d levels expected",
+			e.Sinks, p.levels[e.Item]))
+	case EventLevelDone:
+		total, ok := p.levels[e.Item]
+		if !ok {
+			return
+		}
+		p.statusLine(e.Item, fmt.Sprintf("level %d/%d %s %d subtrees, %d pairs, %d flips (%v)",
+			e.Level, max(total, e.Level), bar(e.Level, total),
+			e.Subtrees, e.Pairs, e.Flips, e.Elapsed.Round(time.Millisecond)))
+	case EventStageEnd:
+		if e.Level != 0 {
+			return // per-level stages are summarized by their level-done event
+		}
+		p.statusLine(e.Item, fmt.Sprintf("stage %s done (%v)",
+			e.Stage, e.Elapsed.Round(time.Millisecond)))
+	case EventFlowEnd:
+		delete(p.levels, e.Item)
+		snap := p.metrics.Snapshot()
+		var line string
+		if e.Err != nil {
+			line = fmt.Sprintf("failed after %v: %v", e.Elapsed.Round(time.Millisecond), e.Err)
+		} else {
+			line = fmt.Sprintf("done in %v (topology %v, mergeroute %v)",
+				e.Elapsed.Round(time.Millisecond),
+				snap.Stages[StageTopology].Total.Round(time.Millisecond),
+				snap.Stages[StageMergeRoute].Total.Round(time.Millisecond))
+		}
+		p.finalLine(e.Item, line)
+	}
+}
+
+// bar renders a fixed-width progress bar for done-of-total levels.
+func bar(done, total int) string {
+	const width = 16
+	if total < done {
+		total = done
+	}
+	if total == 0 {
+		return "[" + strings.Repeat("=", width) + "]"
+	}
+	fill := done * width / total
+	return "[" + strings.Repeat("=", fill) + strings.Repeat(".", width-fill) + "]"
+}
+
+// statusLine writes one progress update.  Interactive mode rewrites the
+// current line in place; otherwise each update is newline-terminated.
+func (p *ProgressRenderer) statusLine(item, line string) {
+	if item != "" {
+		line = "[" + item + "] " + line
+	}
+	if p.interactive {
+		fmt.Fprintf(p.w, "\r\x1b[2K%s", line)
+		return
+	}
+	fmt.Fprintln(p.w, line)
+}
+
+// finalLine closes the run's display with a newline-terminated summary.
+func (p *ProgressRenderer) finalLine(item, line string) {
+	if item != "" {
+		line = "[" + item + "] " + line
+	}
+	if p.interactive {
+		fmt.Fprintf(p.w, "\r\x1b[2K%s\n", line)
+		return
+	}
+	fmt.Fprintln(p.w, line)
+}

@@ -1,0 +1,91 @@
+package cts_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/tech"
+	"repro/pkg/cts"
+)
+
+func TestProgressRendererNonInteractive(t *testing.T) {
+	var buf bytes.Buffer
+	p := cts.NewProgressRenderer(&buf, false)
+	flow, err := cts.New(tech.Default(), cts.WithObserver(p.Observe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := flow.Run(context.Background(), randomSinks(11, 24, 9000))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out := buf.String()
+	if strings.Contains(out, "\r") {
+		t.Error("non-interactive output contains carriage returns")
+	}
+	for _, want := range []string{
+		"start: 24 sinks",
+		"level 1/",
+		"stage buffering done",
+		"stage timing done",
+		"done in",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One line per level plus start, two whole-flow stages and the summary.
+	if lines := strings.Count(out, "\n"); lines != res.Levels+4 {
+		t.Errorf("got %d lines, want %d (levels %d + start + 2 stages + done)",
+			lines, res.Levels+4, res.Levels)
+	}
+	// The renderer's metrics double as the -metrics aggregates.
+	if snap := p.Metrics().Snapshot(); snap.FlowsDone != 1 || snap.Levels != res.Levels {
+		t.Errorf("metrics snapshot = %d flows / %d levels, want 1 / %d",
+			snap.FlowsDone, snap.Levels, res.Levels)
+	}
+}
+
+func TestProgressRendererInteractive(t *testing.T) {
+	var buf bytes.Buffer
+	p := cts.NewProgressRenderer(&buf, true)
+	flow, err := cts.New(tech.Default(), cts.WithObserver(p.Observe))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := flow.Run(context.Background(), randomSinks(13, 16, 7000)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "\r") {
+		t.Error("interactive output never rewrites the status line")
+	}
+	if !strings.HasSuffix(out, "\n") {
+		t.Error("interactive output does not end with a newline")
+	}
+	if strings.Count(out, "\n") != 1 {
+		t.Errorf("interactive output holds %d newlines, want exactly the final one", strings.Count(out, "\n"))
+	}
+}
+
+func TestProgressRendererBatchItemsAndFailures(t *testing.T) {
+	var buf bytes.Buffer
+	p := cts.NewProgressRenderer(&buf, false)
+	// Synthetic event stream: an item-tagged level and a failing flow.
+	p.Observe(cts.Event{Kind: cts.EventFlowStart, Item: "r9", Sinks: 8})
+	p.Observe(cts.Event{Kind: cts.EventLevelDone, Item: "r9", Level: 1, Subtrees: 4, Pairs: 4, Elapsed: 2 * time.Millisecond})
+	p.Observe(cts.Event{Kind: cts.EventFlowEnd, Item: "r9", Elapsed: time.Millisecond, Err: context.Canceled})
+	out := buf.String()
+	if !strings.Contains(out, "[r9]") {
+		t.Errorf("batch item name missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "failed after") || !strings.Contains(out, "context canceled") {
+		t.Errorf("failure line missing:\n%s", out)
+	}
+	// A level-done for an unknown item (start was never seen) must not panic.
+	p.Observe(cts.Event{Kind: cts.EventLevelDone, Item: "ghost", Level: 1})
+}

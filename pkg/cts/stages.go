@@ -17,13 +17,16 @@ import (
 // Default TopologyBuilder
 // ---------------------------------------------------------------------------
 
-// nearestNeighborTopology is the greedy nearest-neighbour matching of
-// Section 4.1.1, backed by internal/topology.
-type nearestNeighborTopology struct {
+// matcherTopology is the default topology stage: the levelized pairing of
+// Section 4.1.1 delegated to a pluggable internal/topology.Matcher (selected
+// with WithTopologyStrategy; topology.Greedy — the paper's matching on the
+// spatial index — by default).
+type matcherTopology struct {
 	alpha, beta float64
+	matcher     topology.Matcher
 }
 
-func (b *nearestNeighborTopology) Pair(ctx context.Context, items []Item) ([]Pairing, int, error) {
+func (b *matcherTopology) Pair(ctx context.Context, items []Item) ([]Pairing, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, -1, err
 	}
@@ -31,7 +34,7 @@ func (b *nearestNeighborTopology) Pair(ctx context.Context, items []Item) ([]Pai
 	for i, it := range items {
 		raw[i] = topology.Item{Pos: it.Pos, Delay: it.Delay}
 	}
-	pairs, seed := topology.Match(raw, b.alpha, b.beta)
+	pairs, seed := b.matcher.Match(raw, b.alpha, b.beta)
 	out := make([]Pairing, len(pairs))
 	for i, p := range pairs {
 		out[i] = Pairing{A: p.A, B: p.B}

@@ -1,0 +1,164 @@
+package cts_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/charlib"
+	"repro/internal/tech"
+	"repro/internal/topology"
+	"repro/pkg/cts"
+)
+
+// bruteTopology is the O(n²) reference matcher mounted as a pipeline stage,
+// the oracle for the indexed default.
+type bruteTopology struct {
+	alpha, beta float64
+}
+
+func (b *bruteTopology) Pair(ctx context.Context, items []cts.Item) ([]cts.Pairing, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, -1, err
+	}
+	raw := make([]topology.Item, len(items))
+	for i, it := range items {
+		raw[i] = topology.Item{Pos: it.Pos, Delay: it.Delay}
+	}
+	pairs, seed := topology.BruteForce{}.Match(raw, b.alpha, b.beta)
+	out := make([]cts.Pairing, len(pairs))
+	for i, p := range pairs {
+		out[i] = cts.Pairing{A: p.A, B: p.B}
+	}
+	return out, seed, nil
+}
+
+// TestIndexedGreedyMatchesBruteForceFlow is the tentpole's equality
+// guarantee at the pipeline level: synthesizing the scaled r1-r3 benchmarks
+// with the default (spatial-index) topology stage must produce bit-identical
+// netlists, timing, skew and wirelength to the brute-force O(n²) matcher.
+// The sink counts sit above the matcher's internal brute cutover so the
+// indexed code path really runs.
+func TestIndexedGreedyMatchesBruteForceFlow(t *testing.T) {
+	tt := tech.Default()
+	lib := charlib.NewAnalytic(tt)
+	for _, name := range []string{"r1", "r2", "r3"} {
+		t.Run(name, func(t *testing.T) {
+			bm, err := bench.SyntheticScaled(name, 150)
+			if err != nil {
+				t.Fatal(err)
+			}
+			indexed, err := cts.New(tt, cts.WithLibrary(lib))
+			if err != nil {
+				t.Fatal(err)
+			}
+			settings := indexed.Settings()
+			brute, err := cts.New(tt, cts.WithLibrary(lib),
+				cts.WithTopologyBuilder(&bruteTopology{alpha: settings.Alpha, beta: settings.Beta}))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			ri, err := indexed.Run(context.Background(), bm.Sinks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rb, err := brute.Run(context.Background(), bm.Sinks)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			if got, want := deck(t, ri, name), deck(t, rb, name); got != want {
+				t.Errorf("netlists differ between indexed and brute-force topology (%d vs %d lines)",
+					strings.Count(got, "\n"), strings.Count(want, "\n"))
+			}
+			if !reflect.DeepEqual(ri.Stats, rb.Stats) {
+				t.Errorf("stats differ:\nindexed: %+v\nbrute:   %+v", ri.Stats, rb.Stats)
+			}
+			if ri.Stats.TotalWire != rb.Stats.TotalWire {
+				t.Errorf("wirelength = %v, want %v", ri.Stats.TotalWire, rb.Stats.TotalWire)
+			}
+			if ri.Timing.Skew != rb.Timing.Skew || ri.Timing.WorstSlew != rb.Timing.WorstSlew ||
+				ri.Timing.MaxLatency != rb.Timing.MaxLatency || ri.Timing.MinLatency != rb.Timing.MinLatency {
+				t.Errorf("timing differs: indexed %+v, brute %+v", ri.Timing, rb.Timing)
+			}
+			if ri.Levels != rb.Levels {
+				t.Errorf("levels = %d, want %d", ri.Levels, rb.Levels)
+			}
+		})
+	}
+}
+
+// TestTopologyStrategyBipartition checks the alternative strategy end to
+// end: it must synthesize a valid tree (the flow's pairing validation is
+// strict) and echo its strategy in the result settings.
+func TestTopologyStrategyBipartition(t *testing.T) {
+	tt := tech.Default()
+	bm, err := bench.SyntheticScaled("r1", 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flow, err := cts.New(tt,
+		cts.WithLibrary(charlib.NewAnalytic(tt)),
+		cts.WithTopologyStrategy(cts.TopologyBipartition),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := flow.Run(context.Background(), bm.Sinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Settings.Topology != cts.TopologyBipartition {
+		t.Errorf("settings echo strategy %v, want bipartition", res.Settings.Topology)
+	}
+	if err := res.Tree.Validate(); err != nil {
+		t.Errorf("bipartition tree invalid: %v", err)
+	}
+	if res.Timing.Skew < 0 {
+		t.Errorf("negative skew %v", res.Timing.Skew)
+	}
+}
+
+func TestTopologyStrategyParseAndJSON(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want cts.TopologyStrategy
+		ok   bool
+	}{
+		{"greedy", cts.TopologyGreedy, true},
+		{"", cts.TopologyGreedy, true},
+		{"bipartition", cts.TopologyBipartition, true},
+		{"voronoi", cts.TopologyGreedy, false},
+	} {
+		got, err := cts.ParseTopologyStrategy(tc.in)
+		if (err == nil) != tc.ok || got != tc.want {
+			t.Errorf("ParseTopologyStrategy(%q) = (%v, %v), want (%v, ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+	for _, s := range []cts.TopologyStrategy{cts.TopologyGreedy, cts.TopologyBipartition} {
+		b, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("%q", s.String()); string(b) != want {
+			t.Errorf("marshal %v = %s, want %s", s, b, want)
+		}
+		var back cts.TopologyStrategy
+		if err := json.Unmarshal(b, &back); err != nil || back != s {
+			t.Errorf("round trip %v = (%v, %v)", s, back, err)
+		}
+	}
+	// Settings JSON carries the strategy token.
+	b, err := json.Marshal(cts.Settings{Topology: cts.TopologyBipartition})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"topology":"bipartition"`) {
+		t.Errorf("settings JSON missing strategy token: %s", b)
+	}
+}

@@ -13,14 +13,24 @@
 //	cts -bench r3 -metrics             # per-stage counters/histograms on stderr
 //	cts -bench r4 -parallelism 8       # bound the intra-run merge fan-out
 //	cts -bench r5 -topology bipartition  # recursive-geometric pairing strategy
+//	cts -bench r1 -server http://127.0.0.1:8155   # submit to a ctsd instance
+//
+// With -server the sink set is submitted to a running ctsd (see cmd/ctsd)
+// instead of synthesized locally; progress events stream back over SSE when
+// -progress is set, and the final JobStatus JSON (including the cts.Result
+// and the cacheHit marker) is printed to stdout.
+//
+// On any failure — a missing or malformed input file included — cts exits
+// non-zero after printing a one-line error.
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
 	"os"
 	"os/signal"
 
@@ -30,35 +40,58 @@ import (
 	"repro/internal/spice"
 	"repro/internal/tech"
 	"repro/pkg/cts"
+	"repro/pkg/ctsserver"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("cts: ")
-
-	var (
-		benchName  = flag.String("bench", "r1", "synthetic benchmark name (r1..r5, f11..fnb1)")
-		file       = flag.String("file", "", "benchmark file (sink list or ISPD-style); overrides -bench")
-		maxSinks   = flag.Int("max-sinks", 0, "truncate the benchmark to at most this many sinks (0 = all)")
-		slewLimit  = flag.Float64("slew", 100, "slew limit in ps")
-		correction = flag.String("correction", "none", "H-structure handling: none, reestimate, full")
-		gridSize   = flag.Int("grid", 45, "initial routing grid resolution R")
-		analytic   = flag.Bool("analytic", false, "use the closed-form library instead of characterizing")
-		libPath    = flag.String("lib", "", "load a previously characterized library (JSON)")
-		deck       = flag.String("deck", "", "write the synthesized tree as a SPICE-style deck to this file")
-		noVerify   = flag.Bool("no-verify", false, "skip the transient verification")
-		jsonOut    = flag.Bool("json", false, "print the cts.Result JSON instead of the human-readable report")
-		progress   = flag.Bool("progress", false, "render pipeline progress to stderr (live status line on a terminal)")
-		topo       = flag.String("topology", "greedy", "pairing strategy: greedy (indexed, the paper's matching) or bipartition")
-		metrics    = flag.Bool("metrics", false, "print per-stage counters and elapsed histograms to stderr after the run")
-		par        = flag.Int("parallelism", 0, "intra-run merge fan-out workers per level (0 = GOMAXPROCS, 1 = sequential)")
-	)
-	flag.Parse()
-
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			// -h/-help printed the usage; that is a successful exit.
+			return
+		}
+		if !errors.Is(err, errFlagParse) {
+			fmt.Fprintf(os.Stderr, "cts: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
 
-	t := tech.Default()
+// errFlagParse marks flag-parse failures the FlagSet has already reported
+// to stderr (with usage), so main does not print them a second time.
+var errFlagParse = errors.New("invalid flags")
+
+// run is the whole command behind a testable seam: it parses args, executes,
+// and returns an error instead of exiting, so failures surface as one-line
+// messages (never a panic or a stack trace).
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("cts", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		benchName  = fs.String("bench", "r1", "synthetic benchmark name (r1..r5, f11..fnb1)")
+		file       = fs.String("file", "", "benchmark file (sink list or ISPD-style); overrides -bench")
+		maxSinks   = fs.Int("max-sinks", 0, "truncate the benchmark to at most this many sinks (0 = all)")
+		slewLimit  = fs.Float64("slew", 100, "slew limit in ps")
+		correction = fs.String("correction", "none", "H-structure handling: none, reestimate, full")
+		gridSize   = fs.Int("grid", 45, "initial routing grid resolution R")
+		analytic   = fs.Bool("analytic", false, "use the closed-form library instead of characterizing")
+		libPath    = fs.String("lib", "", "load a previously characterized library (JSON)")
+		deck       = fs.String("deck", "", "write the synthesized tree as a SPICE-style deck to this file")
+		noVerify   = fs.Bool("no-verify", false, "skip the transient verification")
+		jsonOut    = fs.Bool("json", false, "print the cts.Result JSON instead of the human-readable report")
+		progress   = fs.Bool("progress", false, "render pipeline progress to stderr (live status line on a terminal)")
+		topo       = fs.String("topology", "greedy", "pairing strategy: greedy (indexed, the paper's matching) or bipartition")
+		metrics    = fs.Bool("metrics", false, "print per-stage counters and elapsed histograms to stderr after the run")
+		par        = fs.Int("parallelism", 0, "intra-run merge fan-out workers per level (0 = GOMAXPROCS, 1 = sequential)")
+		serverURL  = fs.String("server", "", "submit to a ctsd instance at this base URL instead of synthesizing locally")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return err
+		}
+		return errFlagParse
+	}
 
 	var bm bench.Benchmark
 	var err error
@@ -68,21 +101,49 @@ func main() {
 		bm, err = bench.SyntheticScaled(*benchName, *maxSinks)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-
-	lib, err := buildLibrary(t, *analytic, *libPath)
-	if err != nil {
-		log.Fatal(err)
+	// Reject bad sink sets (duplicate names, non-finite coordinates) here
+	// with a precise message rather than as a mid-run synthesis failure.
+	if err := cts.ValidateSinks(bm.Sinks); err != nil {
+		return fmt.Errorf("%s: %w", bm.Name, err)
 	}
 
 	mode, err := cts.ParseCorrection(*correction)
 	if err != nil {
-		log.Fatalf("unknown correction mode %q (want none, reestimate, full)", *correction)
+		return fmt.Errorf("unknown correction mode %q (want none, reestimate, full)", *correction)
 	}
 	strategy, err := cts.ParseTopologyStrategy(*topo)
 	if err != nil {
-		log.Fatalf("unknown topology strategy %q (want greedy, bipartition)", *topo)
+		return fmt.Errorf("unknown topology strategy %q (want greedy, bipartition)", *topo)
+	}
+
+	if *serverURL != "" {
+		// The synthesis runs remotely: deck writing needs the local tree,
+		// and the library is the server's — flags that would silently
+		// change nothing are rejected instead.
+		if *deck != "" {
+			return errors.New("-deck is not supported with -server (the tree stays on the server)")
+		}
+		if *libPath != "" || *analytic {
+			return errors.New("-lib/-analytic are not supported with -server (the server chooses its library)")
+		}
+		if *metrics || *par != 0 {
+			return errors.New("-metrics/-parallelism are not supported with -server (the server owns the run; use -progress for streamed events)")
+		}
+		settings := cts.Settings{
+			SlewLimit:  *slewLimit,
+			GridSize:   *gridSize,
+			Correction: mode,
+			Topology:   strategy,
+		}
+		return runRemote(ctx, *serverURL, bm, settings, !*noVerify, *progress, stdout, stderr)
+	}
+
+	t := tech.Default()
+	lib, err := charlib.Select(t, *analytic, *libPath)
+	if err != nil {
+		return err
 	}
 
 	opts := []cts.Option{
@@ -101,7 +162,7 @@ func main() {
 	var stats *cts.MetricsObserver
 	var observers []cts.Observer
 	if *progress {
-		renderer := cts.NewProgressRenderer(os.Stderr, stderrIsTerminal())
+		renderer := cts.NewProgressRenderer(stderr, isTerminal(stderr))
 		observers = append(observers, renderer.Observe)
 		if *metrics {
 			// The renderer already aggregates every event; reuse its
@@ -125,35 +186,35 @@ func main() {
 	}
 	flow, err := cts.New(t, opts...)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if !*jsonOut {
-		fmt.Printf("benchmark %s: %d sinks, die %.1f x %.1f mm\n",
+		fmt.Fprintf(stdout, "benchmark %s: %d sinks, die %.1f x %.1f mm\n",
 			bm.Name, len(bm.Sinks), bm.Die.Width()/1000, bm.Die.Height()/1000)
 	}
 
 	res, err := flow.Run(ctx, bm.Sinks)
 	if stats != nil {
-		fmt.Fprint(os.Stderr, stats.Snapshot().Render())
+		fmt.Fprint(stderr, stats.Snapshot().Render())
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	if *jsonOut {
 		out, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Println(string(out))
+		fmt.Fprintln(stdout, string(out))
 	} else {
-		fmt.Printf("synthesis: %d buffers (%v), %.2f mm wire, %d levels, %d flippings\n",
+		fmt.Fprintf(stdout, "synthesis: %d buffers (%v), %.2f mm wire, %d levels, %d flippings\n",
 			res.Stats.Buffers, res.Stats.BuffersBySize, res.Stats.TotalWire/1000, res.Levels, res.Flippings)
-		fmt.Printf("library timing: worst slew %.1f ps, skew %.1f ps, latency %.1f ps\n",
+		fmt.Fprintf(stdout, "library timing: worst slew %.1f ps, skew %.1f ps, latency %.1f ps\n",
 			res.Timing.WorstSlew, res.Timing.Skew, res.Timing.MaxLatency)
 		if res.Verification != nil {
-			fmt.Printf("simulation:     worst slew %.1f ps, skew %.1f ps, latency %.1f ps (%d stages)\n",
+			fmt.Fprintf(stdout, "simulation:     worst slew %.1f ps, skew %.1f ps, latency %.1f ps (%d stages)\n",
 				res.Verification.WorstSlew, res.Verification.Skew, res.Verification.MaxLatency, res.Verification.Stages)
 		}
 	}
@@ -161,30 +222,71 @@ func main() {
 	if *deck != "" {
 		net, _, err := clocktree.BuildNetlist(res.Tree, 100)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*deck, []byte(net.SpiceDeck(bm.Name)), 0o644); err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if !*jsonOut {
-			fmt.Printf("wrote deck to %s\n", *deck)
+			fmt.Fprintf(stdout, "wrote deck to %s\n", *deck)
 		}
 	}
+	return nil
 }
 
-// stderrIsTerminal reports whether stderr is a character device, selecting
-// the progress renderer's live status-line mode.
-func stderrIsTerminal() bool {
-	fi, err := os.Stderr.Stat()
+// runRemote submits the benchmark to a ctsd instance, streams its progress
+// events and prints the final JobStatus JSON (cts.Result plus the cacheHit
+// marker) to stdout.
+func runRemote(ctx context.Context, url string, bm bench.Benchmark, settings cts.Settings, verify, progress bool, stdout, stderr io.Writer) error {
+	client := ctsserver.NewClient(url)
+	st, err := client.Submit(ctx, ctsserver.JobRequest{
+		Name:     bm.Name,
+		Sinks:    ctsserver.SinksFromCTS(bm.Sinks),
+		Settings: &settings,
+		Verify:   verify,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "submitted %s (%d sinks) as %s: %s\n", bm.Name, len(bm.Sinks), st.ID, st.State)
+	if !st.State.Terminal() {
+		var onEvent func(cts.WireEvent)
+		if progress {
+			onEvent = func(we cts.WireEvent) {
+				switch we.Kind {
+				case "level-done":
+					fmt.Fprintf(stderr, "level %d: %d pairs, %d sub-trees remain (%.1f ms)\n",
+						we.Level, we.Pairs, we.Subtrees, we.ElapsedMs)
+				case "stage-end":
+					if we.Level == 0 {
+						fmt.Fprintf(stderr, "stage %s done (%.1f ms)\n", we.Stage, we.ElapsedMs)
+					}
+				}
+			}
+		}
+		if st, err = client.Stream(ctx, st.ID, onEvent); err != nil {
+			return err
+		}
+	}
+	if st.State != ctsserver.StateDone {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	out, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, string(out))
+	return nil
+}
+
+// isTerminal reports whether the writer is a character device, selecting
+// the progress renderer's live status-line mode; injected non-file writers
+// (tests, pipes) get plain log lines.
+func isTerminal(w io.Writer) bool {
+	f, ok := w.(*os.File)
+	if !ok {
+		return false
+	}
+	fi, err := f.Stat()
 	return err == nil && fi.Mode()&os.ModeCharDevice != 0
-}
-
-func buildLibrary(t *tech.Technology, analytic bool, path string) (*charlib.Library, error) {
-	if path != "" {
-		return charlib.Load(path, t)
-	}
-	if analytic {
-		return charlib.NewAnalytic(t), nil
-	}
-	return charlib.Characterize(t, charlib.Config{})
 }

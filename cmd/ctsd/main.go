@@ -1,0 +1,124 @@
+// Command ctsd is the long-lived clock-tree-synthesis service: an HTTP JSON
+// job API over repro/pkg/ctsserver with streaming progress events and a
+// content-addressed result cache.  See the package documentation of
+// repro/pkg/ctsserver for the endpoint list.
+//
+// Usage:
+//
+//	ctsd                                  # listen on :8155, characterized library
+//	ctsd -addr 127.0.0.1:0 -analytic      # random port, fast start
+//	ctsd -workers 8 -queue 128 -cache-mb 256
+//	ctsd -addr 127.0.0.1:0 -addr-file /tmp/ctsd.addr   # write the bound address
+//
+// On SIGINT/SIGTERM the server drains gracefully: intake stops (new
+// submissions answer 503, /healthz flips to 503) and every accepted job
+// finishes before the process exits; jobs still running when -drain-timeout
+// expires are canceled.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/charlib"
+	"repro/internal/tech"
+	"repro/pkg/ctsserver"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ctsd: ")
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", ":8155", "listen address (host:port; port 0 picks a free one)")
+		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
+		workers      = flag.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 64, "queued-job bound; submissions beyond it answer 429")
+		cacheMB      = flag.Int64("cache-mb", 64, "result-cache budget in MiB (0 disables caching)")
+		par          = flag.Int("parallelism", 0, "intra-run merge fan-out per job (0 = GOMAXPROCS)")
+		maxSinks     = flag.Int("max-sinks", 0, "per-request sink limit (0 = unlimited)")
+		retention    = flag.Int("retention", 4096, "terminal jobs kept addressable for status/replay")
+		analytic     = flag.Bool("analytic", false, "use the closed-form library instead of characterizing")
+		libPath      = flag.String("lib", "", "load a previously characterized library (JSON)")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long a drain waits before canceling jobs")
+	)
+	flag.Parse()
+
+	t := tech.Default()
+	lib, err := charlib.Select(t, *analytic, *libPath)
+	if err != nil {
+		return err
+	}
+
+	cacheBytes := *cacheMB << 20
+	if *cacheMB == 0 {
+		cacheBytes = -1 // disabled
+	}
+	srv, err := ctsserver.New(ctsserver.Options{
+		Tech:         t,
+		Library:      lib,
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheBytes:   cacheBytes,
+		Parallelism:  *par,
+		MaxSinks:     *maxSinks,
+		JobRetention: *retention,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	log.Printf("listening on %s", bound)
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("signal received, draining (timeout %v)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		log.Printf("drain canceled remaining jobs: %v", err)
+	}
+	// The drain context may already be spent; give the HTTP shutdown its
+	// own grace window to flush in-flight responses (the canceled jobs'
+	// event streams end on their own once the terminal events are written).
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("shutdown closed lingering connections: %v", err)
+	}
+	log.Printf("drained, exiting")
+	return nil
+}

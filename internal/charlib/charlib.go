@@ -690,6 +690,19 @@ func (l *Library) Save(path string) error {
 	return os.WriteFile(path, data, 0o644)
 }
 
+// Select resolves the CLI-flag triple shared by the cts and ctsd commands:
+// a saved characterized-library file when path is set, the analytic closed
+// form when analytic is set, and a fresh default characterization otherwise.
+func Select(t *tech.Technology, analytic bool, path string) (*Library, error) {
+	if path != "" {
+		return Load(path, t)
+	}
+	if analytic {
+		return NewAnalytic(t), nil
+	}
+	return Characterize(t, Config{})
+}
+
 // Load reads a library from a JSON file and binds it to the technology.
 func Load(path string, t *tech.Technology) (*Library, error) {
 	data, err := os.ReadFile(path)

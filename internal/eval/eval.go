@@ -47,6 +47,10 @@ type Config struct {
 	// entry (default cts.TopologyGreedy, the paper's indexed matching);
 	// the DME baselines always use the paper's greedy pairing.
 	Topology cts.TopologyStrategy
+	// Observer taps the synthesis event stream of every table run (nil =
+	// no observation).  A cts.MetricsObserver here aggregates eval runs
+	// into the same per-stage stats a ctsd service exposes on /v1/stats.
+	Observer cts.Observer
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -142,13 +146,17 @@ func loadBenchmarks(cfg Config, names []string) ([]bench.Benchmark, []cts.BatchI
 // merge fan-out is pinned to 1 to avoid stacking a second worker pool on
 // every batch worker.
 func tableFlow(cfg Config, extra ...cts.Option) (*cts.Flow, error) {
-	opts := append([]cts.Option{
+	opts := []cts.Option{
 		cts.WithLibrary(cfg.Library),
 		cts.WithSlewLimit(cfg.SlewLimit),
 		cts.WithVerification(spice.Options{TimeStep: cfg.SimStep}),
 		cts.WithTopologyStrategy(cfg.Topology),
 		cts.WithParallelism(1),
-	}, extra...)
+	}
+	if cfg.Observer != nil {
+		opts = append(opts, cts.WithObserver(cfg.Observer))
+	}
+	opts = append(opts, extra...)
 	return cts.New(cfg.Tech, opts...)
 }
 

@@ -26,12 +26,19 @@ func smallConfig() Config {
 func TestTable51ShapeHolds(t *testing.T) {
 	cfg := smallConfig()
 	cfg.Benchmarks = []string{"r1", "r2"}
+	metrics := cts.NewMetricsObserver()
+	cfg.Observer = metrics.Observe
 	table, err := Table51(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(table.Rows) != 2 {
 		t.Fatalf("rows = %d, want 2", len(table.Rows))
+	}
+	// The observer hook taps every table run, so a service-style metrics
+	// sink sees exactly the batch's flows.
+	if snap := metrics.Snapshot(); snap.FlowsStarted != 2 || snap.FlowsDone != 2 {
+		t.Errorf("observer saw %d started / %d done flows, want 2/2", snap.FlowsStarted, snap.FlowsDone)
 	}
 	for _, r := range table.Rows {
 		// The headline result: the aggressive-insertion flow honours the slew

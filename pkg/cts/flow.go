@@ -30,8 +30,8 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 		f.emit(Event{Kind: EventFlowEnd, Item: item, Elapsed: time.Since(start), Err: err})
 	}()
 
-	if len(sinks) == 0 {
-		return nil, errors.New("cts: no sinks")
+	if err := ValidateSinks(sinks); err != nil {
+		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -48,27 +48,13 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 		}
 	}
 
-	// Level 0: every sink is its own sub-tree.  Explicit names are checked
-	// for duplicates first, so that a clash between an explicit name and a
-	// later generated default (e.g. an explicit "sink_0" alongside an unnamed
-	// sink) is reported as what it is rather than as a plain duplicate.
-	explicit := map[string]int{}
-	for i, s := range sinks {
-		if s.Name == "" {
-			continue
-		}
-		if j, ok := explicit[s.Name]; ok {
-			return nil, fmt.Errorf("cts: duplicate sink name %q (sinks %d and %d)", s.Name, j, i)
-		}
-		explicit[s.Name] = i
-	}
+	// Level 0: every sink is its own sub-tree.  ValidateSinks has already
+	// rejected duplicate names (including clashes with the sink_<n> defaults
+	// generated here), so the names are unique.
 	current := make([]*mergeroute.Subtree, len(sinks))
 	for i, s := range sinks {
 		if s.Name == "" {
 			s.Name = fmt.Sprintf("sink_%d", i)
-			if j, ok := explicit[s.Name]; ok {
-				return nil, fmt.Errorf("cts: generated default name %q for unnamed sink %d collides with the explicitly named sink %d; name all sinks or avoid the sink_N pattern", s.Name, i, j)
-			}
 		}
 		loadCap := s.Cap
 		if loadCap <= 0 {

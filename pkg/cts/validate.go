@@ -1,0 +1,87 @@
+package cts
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sink-set validation error codes, carried by SinkSetError.Code.  They are
+// stable machine-readable identifiers, used verbatim by service front-ends
+// (repro/pkg/ctsserver maps them onto structured 400 responses).
+const (
+	// SinkErrEmpty: the sink set contains no sinks.
+	SinkErrEmpty = "empty-sink-set"
+	// SinkErrDuplicateName: two sinks share an explicit name.
+	SinkErrDuplicateName = "duplicate-name"
+	// SinkErrGeneratedCollision: an unnamed sink's generated default name
+	// ("sink_<index>") collides with an explicitly named sink.
+	SinkErrGeneratedCollision = "generated-name-collision"
+	// SinkErrNonFinite: a sink coordinate or capacitance is NaN or infinite.
+	SinkErrNonFinite = "non-finite-value"
+)
+
+// SinkSetError reports why a sink set cannot be synthesized.  Code is one of
+// the SinkErr constants; Index is the offending sink (-1 for set-level
+// problems) and Other the second sink involved for name clashes (-1
+// otherwise).
+type SinkSetError struct {
+	Code  string
+	Index int
+	Other int
+	Name  string
+	msg   string
+}
+
+// Error implements the error interface.
+func (e *SinkSetError) Error() string { return e.msg }
+
+// ValidateSinks checks a sink set against the constraints every Flow.Run
+// enforces — non-empty, finite coordinates and capacitances, no duplicate
+// names (including clashes between an explicit name and the sink_<n> default
+// generated for unnamed sinks) — and returns a *SinkSetError describing the
+// first violation.  It lets API boundaries (the ctsd service, file loaders)
+// reject bad input with a structured error before any synthesis work starts.
+func ValidateSinks(sinks []Sink) error {
+	if len(sinks) == 0 {
+		return &SinkSetError{Code: SinkErrEmpty, Index: -1, Other: -1, msg: "cts: no sinks"}
+	}
+	// Explicit names are checked for duplicates first, so that a clash
+	// between an explicit name and a later generated default (e.g. an
+	// explicit "sink_0" alongside an unnamed sink) is reported as what it is
+	// rather than as a plain duplicate.
+	explicit := map[string]int{}
+	for i, s := range sinks {
+		if !isFinite(s.Pos.X) || !isFinite(s.Pos.Y) || !isFinite(s.Cap) {
+			return &SinkSetError{
+				Code: SinkErrNonFinite, Index: i, Other: -1, Name: s.Name,
+				msg: fmt.Sprintf("cts: sink %d (%q): non-finite position or capacitance (%v, %v, cap %v)",
+					i, s.Name, s.Pos.X, s.Pos.Y, s.Cap),
+			}
+		}
+		if s.Name == "" {
+			continue
+		}
+		if j, ok := explicit[s.Name]; ok {
+			return &SinkSetError{
+				Code: SinkErrDuplicateName, Index: i, Other: j, Name: s.Name,
+				msg: fmt.Sprintf("cts: duplicate sink name %q (sinks %d and %d)", s.Name, j, i),
+			}
+		}
+		explicit[s.Name] = i
+	}
+	for i, s := range sinks {
+		if s.Name != "" {
+			continue
+		}
+		name := fmt.Sprintf("sink_%d", i)
+		if j, ok := explicit[name]; ok {
+			return &SinkSetError{
+				Code: SinkErrGeneratedCollision, Index: i, Other: j, Name: name,
+				msg: fmt.Sprintf("cts: generated default name %q for unnamed sink %d collides with the explicitly named sink %d; name all sinks or avoid the sink_N pattern", name, i, j),
+			}
+		}
+	}
+	return nil
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

@@ -1,0 +1,81 @@
+package cts
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"math"
+	"time"
+)
+
+// WireEvent is the JSON wire form of an observer Event, used by service
+// front-ends that stream progress to remote clients (repro/pkg/ctsserver
+// sends them as Server-Sent Events).  Elapsed is carried in milliseconds and
+// the run error as a plain string so the type round-trips through JSON.
+type WireEvent struct {
+	Kind      string  `json:"kind"`
+	Item      string  `json:"item,omitempty"`
+	Stage     string  `json:"stage,omitempty"`
+	Level     int     `json:"level,omitempty"`
+	Sinks     int     `json:"sinks,omitempty"`
+	Subtrees  int     `json:"subtrees,omitempty"`
+	Pairs     int     `json:"pairs,omitempty"`
+	Flips     int     `json:"flips,omitempty"`
+	ElapsedMs float64 `json:"elapsedMs,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// Wire converts the event to its JSON wire form.
+func (e Event) Wire() WireEvent {
+	w := WireEvent{
+		Kind:      e.Kind.String(),
+		Item:      e.Item,
+		Stage:     e.Stage,
+		Level:     e.Level,
+		Sinks:     e.Sinks,
+		Subtrees:  e.Subtrees,
+		Pairs:     e.Pairs,
+		Flips:     e.Flips,
+		ElapsedMs: float64(e.Elapsed) / float64(time.Millisecond),
+	}
+	if e.Err != nil {
+		w.Error = e.Err.Error()
+	}
+	return w
+}
+
+// CanonicalKey returns a stable, content-addressed identity for a synthesis
+// request: a hex SHA-256 over the effective settings and the exact sink set
+// (names, positions and capacitances at full float64 precision, in order).
+// Two requests share a key exactly when a deterministic Flow would produce
+// the identical Result for them, which is what makes the key usable as a
+// result-cache address.  Pass the settings a Flow reports after defaulting
+// (Flow.Settings()), so that a request spelling out the defaults and one
+// leaving them zero hash identically.
+func CanonicalKey(s Settings, sinks []Sink) string {
+	h := sha256.New()
+	// Struct fields marshal in declaration order, so the settings JSON is a
+	// deterministic byte sequence; marshaling Settings cannot fail.
+	sj, _ := json.Marshal(s)
+	h.Write(sj)
+	var buf [8]byte
+	writeF := func(v float64) {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+	binary.LittleEndian.PutUint64(buf[:], uint64(len(sinks)))
+	h.Write(buf[:])
+	for _, sk := range sinks {
+		// Names are length-prefixed, not terminated: a name is arbitrary
+		// bytes (JSON permits NUL), and a terminator could be forged by the
+		// following float bytes, aliasing two different requests.
+		binary.LittleEndian.PutUint64(buf[:], uint64(len(sk.Name)))
+		h.Write(buf[:])
+		h.Write([]byte(sk.Name))
+		writeF(sk.Pos.X)
+		writeF(sk.Pos.Y)
+		writeF(sk.Cap)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

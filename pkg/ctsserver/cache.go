@@ -1,0 +1,96 @@
+package ctsserver
+
+import (
+	"container/list"
+	"encoding/json"
+	"sync"
+)
+
+// resultCache is the content-addressed result cache: canonical request key
+// (cts.CanonicalKey, plus the verify marker) → rendered cts.Result JSON.
+// Entries are kept LRU within a byte budget measured over the stored JSON,
+// so a burst of large results evicts the coldest ones first.
+type resultCache struct {
+	mu        sync.Mutex
+	maxBytes  int64
+	bytes     int64
+	order     *list.List // front = most recently used
+	items     map[string]*list.Element
+	hits      int64
+	misses    int64
+	evictions int64
+}
+
+type cacheEntry struct {
+	key  string
+	data json.RawMessage
+}
+
+// newResultCache builds a cache with the byte budget; maxBytes <= 0 disables
+// caching entirely (every lookup misses, every store is dropped).
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{
+		maxBytes: maxBytes,
+		order:    list.New(),
+		items:    map[string]*list.Element{},
+	}
+}
+
+// get returns the cached result JSON for the key, refreshing its recency.
+func (c *resultCache) get(key string) (json.RawMessage, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put stores the result JSON under the key and evicts LRU entries until the
+// cache fits the byte budget again.  Results larger than the whole budget
+// are not stored.
+func (c *resultCache) put(key string, data json.RawMessage) {
+	size := int64(len(data))
+	if size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		// Identical requests produce identical results, so a re-store only
+		// refreshes recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	c.bytes += size
+	for c.bytes > c.maxBytes {
+		back := c.order.Back()
+		if back == nil {
+			break
+		}
+		e := back.Value.(*cacheEntry)
+		c.order.Remove(back)
+		delete(c.items, e.key)
+		c.bytes -= int64(len(e.data))
+		c.evictions++
+	}
+}
+
+// stats snapshots the cache counters.
+func (c *resultCache) stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries:   len(c.items),
+		Bytes:     c.bytes,
+		MaxBytes:  c.maxBytes,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}

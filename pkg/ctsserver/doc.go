@@ -1,0 +1,49 @@
+// Package ctsserver is the long-lived synthesis service in front of the
+// repro/pkg/cts pipeline: an HTTP JSON job API with streaming progress and a
+// content-addressed result cache, served by the ctsd command and consumed by
+// the Client in this package (or any HTTP client).
+//
+// # Endpoints
+//
+//	POST   /v1/jobs             submit a JobRequest (sink set + cts.Settings);
+//	                            202 with a queued JobStatus, 200 on a cache
+//	                            hit (the job is born done), 400 with a
+//	                            structured validation error, 429 when the
+//	                            queue is full, 503 while draining
+//	GET    /v1/jobs/{id}        JobStatus; Result carries the cts.Result
+//	                            JSON once the job is done
+//	GET    /v1/jobs/{id}/events Server-Sent Events: "flow" events stream the
+//	                            run's observer events (cts.WireEvent JSON)
+//	                            live, and a terminal "done" event carries the
+//	                            final JobStatus.  The full history is
+//	                            replayed first, so subscribing after the job
+//	                            finished still yields every event
+//	DELETE /v1/jobs/{id}        cancel: queued jobs end immediately, running
+//	                            jobs are canceled through their context
+//	GET    /v1/stats            scheduler, cache and per-stage synthesis
+//	                            metrics (Stats)
+//	GET    /healthz             200 while serving, 503 while draining
+//
+// # Scheduling
+//
+// Behind the API sits a bounded scheduler: a FIFO queue of configurable
+// depth (Options.QueueDepth) drained by a fixed worker pool
+// (Options.Workers).  Every job runs under its own context, so DELETE
+// cancels promptly and frees the worker slot; submissions beyond the queue
+// depth fail fast with 429 rather than building an unbounded backlog.
+// Server.Drain — wired to SIGTERM in ctsd — stops intake (new submissions
+// see 503, /healthz flips to 503) and completes every job already accepted
+// before returning.
+//
+// # Result cache
+//
+// Results are cached under cts.CanonicalKey(effective settings, sinks): a
+// resubmitted sink set is answered from the cache as a job that is born
+// done with CacheHit set, performing no synthesis work.  The cache is LRU
+// within a byte budget (Options.CacheBytes) measured over the stored Result
+// JSON.  Because synthesis is deterministic, a cached result is bit-identical
+// to what a fresh run would produce.
+//
+// Terminal jobs stay addressable (status and event replay) until the
+// retention bound (Options.JobRetention) forgets the oldest ones.
+package ctsserver

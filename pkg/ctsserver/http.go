@@ -1,0 +1,216 @@
+package ctsserver
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/pkg/cts"
+)
+
+// maxRequestBytes bounds a POST /v1/jobs body (a million-sink set is ~100
+// MB of JSON; anything beyond this is rejected before decoding).
+const maxRequestBytes = 256 << 20
+
+// writeJSON renders a JSON response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeError renders the structured error envelope.
+func writeError(w http.ResponseWriter, e *APIError) {
+	status := e.HTTPStatus
+	if status == 0 {
+		status = http.StatusInternalServerError
+	}
+	writeJSON(w, status, errorBody{Error: e})
+}
+
+// validationError maps a sink-set rejection onto a structured 400.
+func validationError(err error) *APIError {
+	var se *cts.SinkSetError
+	if errors.As(err, &se) {
+		e := &APIError{HTTPStatus: http.StatusBadRequest, Code: se.Code, Message: se.Error()}
+		if se.Index >= 0 {
+			idx := se.Index
+			e.Sink = &idx
+		}
+		return e
+	}
+	return &APIError{HTTPStatus: http.StatusBadRequest, Code: ErrBadRequest, Message: err.Error()}
+}
+
+// handleSubmit implements POST /v1/jobs: validate, serve from the result
+// cache when the canonical key hits, otherwise enqueue a run.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.sched.isDraining() {
+		writeError(w, &APIError{HTTPStatus: http.StatusServiceUnavailable,
+			Code: ErrDraining, Message: "server is draining, not accepting new jobs"})
+		return
+	}
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, &APIError{HTTPStatus: http.StatusBadRequest, Code: ErrBadRequest,
+			Message: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	if s.opts.MaxSinks > 0 && len(req.Sinks) > s.opts.MaxSinks {
+		writeError(w, &APIError{HTTPStatus: http.StatusBadRequest, Code: ErrBadRequest,
+			Message: fmt.Sprintf("%d sinks exceeds the server limit of %d", len(req.Sinks), s.opts.MaxSinks)})
+		return
+	}
+	sinks := SinksToCTS(req.Sinks)
+	// Validation runs before any synthesis work, so empty sets, duplicate
+	// names and non-finite coordinates come back as structured 400s instead
+	// of mid-run failures.
+	if err := cts.ValidateSinks(sinks); err != nil {
+		writeError(w, validationError(err))
+		return
+	}
+
+	// The flow is assembled first so the cache key hashes the *effective*
+	// settings: a request spelling out the defaults and one leaving them
+	// zero land on the same entry.
+	var jb *job
+	flow, err := s.buildFlow(req, func() *job { return jb })
+	if err != nil {
+		writeError(w, &APIError{HTTPStatus: http.StatusBadRequest, Code: ErrBadSetting, Message: err.Error()})
+		return
+	}
+	key := cts.CanonicalKey(flow.Settings(), sinks)
+	if req.Verify {
+		// Verification changes the Result (it adds the simulated timing),
+		// so verified and unverified runs are distinct cache entries.
+		key += "+verify"
+	}
+
+	j := newJob(s.newJobID(), req, key, flow, sinks)
+	if data, ok := s.cache.get(key); ok {
+		// Cache hit: the job is born terminal and no synthesis runs.
+		s.register(j)
+		s.sched.submitted.Add(1)
+		s.finishJob(j, StateQueued, StateDone, true, data, "")
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j.ctx, j.cancel = ctx, cancel
+	jb = j
+	s.register(j)
+	if err := s.sched.enqueue(j); err != nil {
+		s.mu.Lock()
+		delete(s.jobs, j.id)
+		s.mu.Unlock()
+		cancel()
+		var ae *APIError
+		if errors.As(err, &ae) {
+			writeError(w, ae)
+		} else {
+			writeError(w, &APIError{HTTPStatus: http.StatusInternalServerError,
+				Code: ErrBadRequest, Message: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// handleGet implements GET /v1/jobs/{id}.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleCancel implements DELETE /v1/jobs/{id}: queued jobs become terminal
+// immediately, running jobs are canceled through their context.  Canceling
+// a terminal job is a no-op; the response always carries the job's current
+// status, so the call is idempotent.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	s.cancelJob(j)
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// handleEvents implements GET /v1/jobs/{id}/events: a Server-Sent Events
+// stream of the job's observer events ("flow" events carrying
+// cts.WireEvent JSON), terminated by a "done" event carrying the final
+// JobStatus.  The whole history is replayed first, so late subscribers to a
+// finished job still see every event, terminal one included.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusInternalServerError,
+			Code: ErrBadRequest, Message: "response writer does not support streaming"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	next := 0
+	for {
+		tail, terminal, changed := j.snapshotSince(next)
+		for _, ev := range tail {
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.seq, ev.kind, ev.data)
+		}
+		if len(tail) > 0 {
+			next += len(tail)
+			flusher.Flush()
+		}
+		if terminal {
+			// finish appends the "done" event under the same lock that sets
+			// the terminal state, so the log is complete here.
+			return
+		}
+		select {
+		case <-changed:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// handleStats implements GET /v1/stats.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, Stats{
+		Scheduler: s.sched.stats(),
+		Cache:     s.cache.stats(),
+		Metrics:   s.metrics.Snapshot(),
+	})
+}
+
+// handleHealth implements GET /healthz; a draining server reports 503 so
+// load balancers stop routing to it.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.sched.isDraining() {
+		writeJSON(w, http.StatusServiceUnavailable, Health{Status: "draining", Draining: true})
+		return
+	}
+	writeJSON(w, http.StatusOK, Health{Status: "ok"})
+}

@@ -1,0 +1,183 @@
+package ctsserver
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// scheduler is the bounded job scheduler behind the API: a FIFO of
+// configurable depth drained by a fixed pool of workers.  Submissions beyond
+// the queue depth are rejected immediately (the handler turns that into a
+// 429), and draining stops intake while the workers finish everything
+// already accepted.  Admission is accounted logically (queuedLive): a queued
+// job canceled before it starts releases its slot immediately, even though
+// its dead entry stays in the FIFO until a worker pops and skips it.
+type scheduler struct {
+	workers int
+	depth   int
+	run     func(*job)
+
+	mu         sync.Mutex
+	cond       *sync.Cond // signals workers when fifo grows or intake closes
+	fifo       []*job
+	queuedLive int // queued jobs that are not yet terminal
+	running    int
+	draining   bool
+
+	wg        sync.WaitGroup
+	submitted atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	canceled  atomic.Int64
+	rejected  atomic.Int64
+	cacheHits atomic.Int64
+}
+
+// newScheduler starts the worker pool; run executes one job and is expected
+// to drive it to a terminal state.
+func newScheduler(workers, depth int, run func(*job)) *scheduler {
+	s := &scheduler{
+		workers: workers,
+		depth:   depth,
+		run:     run,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.fifo) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if len(s.fifo) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		j := s.fifo[0]
+		s.fifo = s.fifo[1:]
+		s.mu.Unlock()
+		// The queued→running transition is the arbiter against a racing
+		// queued→canceled DELETE: exactly one side wins under the job's own
+		// lock, and each decrements queuedLive exactly once (the losing
+		// cancel path goes through releaseQueued instead).  A job canceled
+		// while still queued is skipped without burning the worker.
+		if !j.setRunning() {
+			continue
+		}
+		s.mu.Lock()
+		s.queuedLive--
+		s.running++
+		s.mu.Unlock()
+		s.run(j)
+		s.mu.Lock()
+		s.running--
+		s.mu.Unlock()
+	}
+}
+
+// enqueue admits a job to the FIFO.  It fails fast with an APIError when the
+// server is draining (503) or the queue is full (429).
+func (s *scheduler) enqueue(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return &APIError{HTTPStatus: 503, Code: ErrDraining,
+			Message: "server is draining, not accepting new jobs"}
+	}
+	if s.queuedLive >= s.depth {
+		s.rejected.Add(1)
+		return &APIError{HTTPStatus: 429, Code: ErrQueueFull,
+			Message: "job queue is full, retry later"}
+	}
+	s.fifo = append(s.fifo, j)
+	s.queuedLive++
+	s.submitted.Add(1)
+	s.cond.Signal()
+	return nil
+}
+
+// releaseQueued returns the queue slot of a job that went terminal while
+// still queued (canceled before start), so its dead FIFO entry no longer
+// counts against admission.
+func (s *scheduler) releaseQueued() {
+	s.mu.Lock()
+	s.queuedLive--
+	s.mu.Unlock()
+}
+
+// isDraining reports whether intake has been stopped.
+func (s *scheduler) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// note records a job's terminal transition in the counters.
+func (s *scheduler) note(state JobState, cacheHit bool) {
+	if cacheHit {
+		s.cacheHits.Add(1)
+	}
+	switch state {
+	case StateDone:
+		s.completed.Add(1)
+	case StateFailed:
+		s.failed.Add(1)
+	case StateCanceled:
+		s.canceled.Add(1)
+	}
+}
+
+// drain stops intake, lets the workers finish every job already accepted
+// (queued and in-flight) and returns when the pool is idle.  If the context
+// expires first, cancelAll is invoked to cancel the remaining jobs and the
+// drain completes as they unwind; the context error is returned.
+func (s *scheduler) drain(ctx context.Context, cancelAll func()) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		cancelAll()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// stats snapshots the scheduler counters.
+func (s *scheduler) stats() SchedulerStats {
+	s.mu.Lock()
+	queued, running, draining := s.queuedLive, s.running, s.draining
+	s.mu.Unlock()
+	return SchedulerStats{
+		Workers:    s.workers,
+		QueueDepth: s.depth,
+		Queued:     queued,
+		Running:    running,
+		Submitted:  s.submitted.Load(),
+		Completed:  s.completed.Load(),
+		Failed:     s.failed.Load(),
+		Canceled:   s.canceled.Load(),
+		Rejected:   s.rejected.Load(),
+		CacheHits:  s.cacheHits.Load(),
+		Draining:   draining,
+	}
+}

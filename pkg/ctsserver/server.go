@@ -1,0 +1,299 @@
+package ctsserver
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/charlib"
+	"repro/internal/spice"
+	"repro/internal/tech"
+	"repro/pkg/cts"
+)
+
+// Options configures a Server.  The zero value is usable: default
+// technology, analytic library, GOMAXPROCS workers, a queue of 64 and a
+// 64 MiB result cache.
+type Options struct {
+	// Tech is the technology every job synthesizes against; nil selects
+	// tech.Default().
+	Tech *tech.Technology
+	// Library is the delay/slew library shared by all jobs; nil selects the
+	// analytic closed-form library for Tech.
+	Library *charlib.Library
+	// Workers bounds the number of concurrently running jobs (<= 0 selects
+	// GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the number of accepted-but-not-running jobs; the
+	// API answers 429 beyond it (<= 0 selects 64).
+	QueueDepth int
+	// CacheBytes is the result-cache byte budget over the stored Result
+	// JSON; 0 selects 64 MiB and negative values disable caching.
+	CacheBytes int64
+	// Parallelism is the intra-run merge fan-out of every job's flow
+	// (cts.WithParallelism); 0 selects GOMAXPROCS.
+	Parallelism int
+	// MaxSinks rejects requests with more sinks (<= 0 means no limit).
+	MaxSinks int
+	// JobRetention bounds how many terminal jobs stay addressable for
+	// GET/events replay; the oldest are forgotten beyond it (<= 0 selects
+	// 4096).
+	JobRetention int
+	// RetainBytes additionally bounds the memory retained terminal jobs
+	// hold (their result JSON and event logs), evicting oldest-first beyond
+	// it; 0 selects 256 MiB and negative values leave only the count bound.
+	RetainBytes int64
+	// VerifyTimeStep is the transient-simulation step in ps for jobs that
+	// request verification (<= 0 selects 1).
+	VerifyTimeStep float64
+}
+
+// Server is the long-lived synthesis service: an http.Handler exposing the
+// job API, backed by the bounded scheduler and the content-addressed result
+// cache.  See the package documentation for the endpoint list.
+type Server struct {
+	opts    Options
+	tech    *tech.Technology
+	library *charlib.Library
+	mux     *http.ServeMux
+	sched   *scheduler
+	cache   *resultCache
+	metrics *cts.MetricsObserver
+
+	mu            sync.Mutex
+	jobs          map[string]*job
+	terminal      []retainedJob // terminal jobs, oldest first, for retention
+	retainedBytes int64
+
+	idPrefix string
+	idCtr    atomic.Uint64
+
+	// runHook replaces the synthesis call in tests that need deterministic
+	// control over job duration; nil selects the real flow run.
+	runHook func(ctx context.Context, j *job) (*cts.Result, error)
+}
+
+// New assembles a Server and starts its worker pool.
+func New(o Options) (*Server, error) {
+	if o.Tech == nil {
+		o.Tech = tech.Default()
+	}
+	if err := o.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Library == nil {
+		o.Library = charlib.NewAnalytic(o.Tech)
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheBytes == 0 {
+		o.CacheBytes = 64 << 20
+	}
+	if o.JobRetention <= 0 {
+		o.JobRetention = 4096
+	}
+	if o.RetainBytes == 0 {
+		o.RetainBytes = 256 << 20
+	}
+	if o.VerifyTimeStep <= 0 {
+		o.VerifyTimeStep = 1
+	}
+	var prefix [4]byte
+	if _, err := rand.Read(prefix[:]); err != nil {
+		return nil, fmt.Errorf("ctsserver: seeding job ids: %w", err)
+	}
+	s := &Server{
+		opts:     o,
+		tech:     o.Tech,
+		library:  o.Library,
+		cache:    newResultCache(o.CacheBytes),
+		metrics:  cts.NewMetricsObserver(),
+		jobs:     map[string]*job{},
+		idPrefix: hex.EncodeToString(prefix[:]),
+	}
+	s.sched = newScheduler(o.Workers, o.QueueDepth, s.execute)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux = mux
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Metrics returns the server-wide synthesis metrics aggregator; every job's
+// observer stream folds into it (cache hits run no synthesis and leave it
+// untouched).
+func (s *Server) Metrics() *cts.MetricsObserver { return s.metrics }
+
+// Drain stops accepting jobs and blocks until every accepted job has
+// finished.  When the context expires first, the remaining jobs are canceled
+// and the context error is returned once they unwind.  It is what SIGTERM
+// handling in ctsd calls before shutting the HTTP listener down.
+func (s *Server) Drain(ctx context.Context) error {
+	return s.sched.drain(ctx, s.cancelAll)
+}
+
+// cancelAll cancels every non-terminal job.
+func (s *Server) cancelAll() {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		s.cancelJob(j)
+	}
+}
+
+// newJobID mints a process-unique job id.
+func (s *Server) newJobID() string {
+	return fmt.Sprintf("job-%s-%d", s.idPrefix, s.idCtr.Add(1))
+}
+
+// register adds a job to the addressable set, forgetting the oldest terminal
+// jobs beyond the retention bound.
+func (s *Server) register(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[j.id] = j
+}
+
+// retainedJob is one retention-list entry: a terminal job and the bytes its
+// status and event log pin.
+type retainedJob struct {
+	id    string
+	bytes int64
+}
+
+// retire records a terminal job for retention-based eviction.  Retention is
+// bounded both by count and by retained bytes — a job's result JSON appears
+// in its status and again inside its terminal log event, so large-result
+// jobs are evicted long before the count bound would catch them.
+func (s *Server) retire(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	size := j.retainedSize()
+	s.terminal = append(s.terminal, retainedJob{id: j.id, bytes: size})
+	s.retainedBytes += size
+	for len(s.terminal) > s.opts.JobRetention ||
+		(s.opts.RetainBytes > 0 && s.retainedBytes > s.opts.RetainBytes && len(s.terminal) > 1) {
+		old := s.terminal[0]
+		s.terminal = s.terminal[1:]
+		s.retainedBytes -= old.bytes
+		delete(s.jobs, old.id)
+	}
+}
+
+// lookup resolves a job id.
+func (s *Server) lookup(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// finishJob drives a job to a terminal state exactly once, updating the
+// scheduler counters and the retention list.  A non-empty from restricts
+// the transition to jobs currently in that state (see job.finish).
+func (s *Server) finishJob(j *job, from, state JobState, cacheHit bool, result json.RawMessage, errMsg string) {
+	if !j.finish(from, state, cacheHit, result, errMsg) {
+		return
+	}
+	s.sched.note(state, cacheHit)
+	s.retire(j)
+}
+
+// cancelJob cancels a job in any non-terminal state: a still-queued job
+// becomes terminal in one atomic transition and releases its queue slot
+// immediately (the worker will skip its dead FIFO entry; a job the worker
+// started in the meantime is left to the context path), and a running one
+// is canceled through its context, reaching the canceled state when the run
+// unwinds.
+func (s *Server) cancelJob(j *job) {
+	if j.finish(StateQueued, StateCanceled, false, nil, "canceled before start") {
+		s.sched.note(StateCanceled, false)
+		s.sched.releaseQueued()
+		s.retire(j)
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+}
+
+// execute runs one job to completion on a scheduler worker; the worker has
+// already transitioned the job to running.
+func (s *Server) execute(j *job) {
+	res, err := s.runSynthesis(j)
+	switch {
+	case err == nil:
+		data, merr := json.Marshal(res)
+		if merr != nil {
+			s.finishJob(j, StateRunning, StateFailed, false, nil, fmt.Sprintf("marshaling result: %v", merr))
+			return
+		}
+		s.cache.put(j.key, data)
+		s.finishJob(j, StateRunning, StateDone, false, data, "")
+	case errors.Is(err, context.Canceled):
+		s.finishJob(j, StateRunning, StateCanceled, false, nil, err.Error())
+	default:
+		s.finishJob(j, StateRunning, StateFailed, false, nil, err.Error())
+	}
+}
+
+// runSynthesis performs the actual flow run (or the test hook).
+func (s *Server) runSynthesis(j *job) (*cts.Result, error) {
+	if s.runHook != nil {
+		return s.runHook(j.ctx, j)
+	}
+	return j.flow.Run(j.ctx, j.sinks)
+}
+
+// buildFlow assembles the per-job flow from the request settings.  The
+// observer stream feeds both the server-wide metrics and the job's SSE log.
+func (s *Server) buildFlow(req JobRequest, j func() *job) (*cts.Flow, error) {
+	var set cts.Settings
+	if req.Settings != nil {
+		set = *req.Settings
+	}
+	opts := []cts.Option{
+		cts.WithLibrary(s.library),
+		cts.WithSlewLimit(set.SlewLimit),
+		cts.WithSlewTarget(set.SlewTarget),
+		cts.WithCostWeights(set.Alpha, set.Beta),
+		cts.WithGrid(set.GridSize),
+		cts.WithCorrection(set.Correction),
+		cts.WithTopologyStrategy(set.Topology),
+		cts.WithParallelism(s.opts.Parallelism),
+		cts.WithObserver(func(e cts.Event) {
+			s.metrics.Observe(e)
+			if jb := j(); jb != nil {
+				jb.appendFlow(e.Wire())
+			}
+		}),
+	}
+	if req.Verify {
+		opts = append(opts, cts.WithVerification(spice.Options{TimeStep: s.opts.VerifyTimeStep}))
+	}
+	return cts.New(s.tech, opts...)
+}

@@ -1,0 +1,184 @@
+package ctsserver
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"repro/internal/geom"
+	"repro/pkg/cts"
+)
+
+// Sink is the wire form of one clock sink: a name, a position in
+// micrometres and an optional load capacitance in fF (zero selects the
+// technology default).
+type Sink struct {
+	Name string  `json:"name,omitempty"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+	Cap  float64 `json:"cap,omitempty"`
+}
+
+// CTS converts the wire sink to the pipeline's sink type.
+func (s Sink) CTS() cts.Sink {
+	return cts.Sink{Name: s.Name, Pos: geom.Pt(s.X, s.Y), Cap: s.Cap}
+}
+
+// SinksToCTS converts a wire sink set to pipeline sinks.
+func SinksToCTS(sinks []Sink) []cts.Sink {
+	out := make([]cts.Sink, len(sinks))
+	for i, s := range sinks {
+		out[i] = s.CTS()
+	}
+	return out
+}
+
+// SinksFromCTS converts pipeline sinks to their wire form.
+func SinksFromCTS(sinks []cts.Sink) []Sink {
+	out := make([]Sink, len(sinks))
+	for i, s := range sinks {
+		out[i] = Sink{Name: s.Name, X: s.Pos.X, Y: s.Pos.Y, Cap: s.Cap}
+	}
+	return out
+}
+
+// JobRequest is the body of POST /v1/jobs: a sink set plus the synthesis
+// parameters.  A nil Settings selects the flow defaults (the zero Settings
+// defaults field by field, exactly as the cts.With… options do).  Verify
+// enables the transient-simulation verify stage on the run.
+type JobRequest struct {
+	// Name labels the job in status reports and observer events (e.g. the
+	// benchmark name); it does not participate in the result-cache key.
+	Name     string        `json:"name,omitempty"`
+	Sinks    []Sink        `json:"sinks"`
+	Settings *cts.Settings `json:"settings,omitempty"`
+	Verify   bool          `json:"verify,omitempty"`
+}
+
+// JobState is the lifecycle state of a job.
+type JobState string
+
+const (
+	StateQueued   JobState = "queued"
+	StateRunning  JobState = "running"
+	StateDone     JobState = "done"
+	StateFailed   JobState = "failed"
+	StateCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the wire form of a job: returned by POST /v1/jobs and
+// GET /v1/jobs/{id}, and carried by the terminal "done" event of the SSE
+// stream.  Result holds the cts.Result JSON once the job is done.
+type JobStatus struct {
+	ID    string   `json:"id"`
+	Name  string   `json:"name,omitempty"`
+	State JobState `json:"state"`
+	// Key is the content-addressed identity of the request
+	// (cts.CanonicalKey over the effective settings and sinks).
+	Key string `json:"key"`
+	// CacheHit reports that the result was served from the result cache
+	// without running synthesis.
+	CacheHit bool   `json:"cacheHit"`
+	Sinks    int    `json:"sinks"`
+	Error    string `json:"error,omitempty"`
+	// Created/Started/Finished are RFC 3339 timestamps; Started and
+	// Finished are empty while the job has not reached them.
+	Created  string `json:"created,omitempty"`
+	Started  string `json:"started,omitempty"`
+	Finished string `json:"finished,omitempty"`
+	// Result is the cts.Result JSON of a done job.
+	Result json.RawMessage `json:"result,omitempty"`
+}
+
+// Error codes used by the API beyond the cts.SinkErr validation codes.
+const (
+	ErrBadRequest = "bad-request"
+	ErrBadSetting = "bad-settings"
+	ErrNotFound   = "not-found"
+	ErrQueueFull  = "queue-full"
+	ErrDraining   = "draining"
+)
+
+// APIError is the structured error body of every non-2xx response, wrapped
+// as {"error": {...}}.  Sink points at the offending sink for validation
+// errors.  It implements the error interface, so the Client returns it
+// directly.
+type APIError struct {
+	// HTTPStatus is the response status; not serialized.
+	HTTPStatus int    `json:"-"`
+	Code       string `json:"code"`
+	Message    string `json:"message"`
+	Sink       *int   `json:"sink,omitempty"`
+}
+
+// Error implements the error interface.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("ctsserver: %s (%s)", e.Message, e.Code)
+}
+
+// errorBody is the JSON envelope of an APIError.
+type errorBody struct {
+	Error *APIError `json:"error"`
+}
+
+// SchedulerStats summarizes the job scheduler for GET /v1/stats.
+type SchedulerStats struct {
+	Workers    int   `json:"workers"`
+	QueueDepth int   `json:"queueDepth"`
+	Queued     int   `json:"queued"`
+	Running    int   `json:"running"`
+	Submitted  int64 `json:"submitted"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+	Canceled   int64 `json:"canceled"`
+	Rejected   int64 `json:"rejected"`
+	CacheHits  int64 `json:"cacheHits"`
+	Draining   bool  `json:"draining"`
+}
+
+// CacheStats summarizes the result cache for GET /v1/stats.
+type CacheStats struct {
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"maxBytes"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+}
+
+// Stats is the body of GET /v1/stats: scheduler and cache counters plus the
+// aggregated per-stage synthesis metrics (the same cts.MetricsSnapshot the
+// CLI's -metrics flag renders).
+type Stats struct {
+	Scheduler SchedulerStats      `json:"scheduler"`
+	Cache     CacheStats          `json:"cache"`
+	Metrics   cts.MetricsSnapshot `json:"metrics"`
+}
+
+// Health is the body of GET /healthz.
+type Health struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Draining bool   `json:"draining"`
+}
+
+// SSE event types on GET /v1/jobs/{id}/events.
+const (
+	// EventTypeFlow carries one cts.WireEvent from the run's observer
+	// stream.
+	EventTypeFlow = "flow"
+	// EventTypeDone terminates the stream and carries the final JobStatus.
+	EventTypeDone = "done"
+)
+
+// rfc3339 renders a timestamp for the wire, empty when unset.
+func rfc3339(t time.Time) string {
+	if t.IsZero() {
+		return ""
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}

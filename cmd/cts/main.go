@@ -33,6 +33,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/charlib"
@@ -85,6 +86,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		metrics    = fs.Bool("metrics", false, "print per-stage counters and elapsed histograms to stderr after the run")
 		par        = fs.Int("parallelism", 0, "intra-run merge fan-out workers per level (0 = GOMAXPROCS, 1 = sequential)")
 		serverURL  = fs.String("server", "", "submit to a ctsd instance at this base URL instead of synthesizing locally")
+		priority   = fs.String("priority", "", "scheduling class for -server submissions: low, normal, high (empty = normal)")
+		deadline   = fs.String("deadline", "", "RFC 3339 deadline for -server submissions; the job expires past it")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -131,13 +134,30 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		if *metrics || *par != 0 {
 			return errors.New("-metrics/-parallelism are not supported with -server (the server owns the run; use -progress for streamed events)")
 		}
+		prio, err := ctsserver.ParsePriority(*priority)
+		if err != nil {
+			return err
+		}
+		if *deadline != "" {
+			if _, err := time.Parse(time.RFC3339, *deadline); err != nil {
+				return fmt.Errorf("parsing -deadline (want RFC 3339, e.g. 2026-07-29T12:00:00Z): %w", err)
+			}
+		}
 		settings := cts.Settings{
 			SlewLimit:  *slewLimit,
 			GridSize:   *gridSize,
 			Correction: mode,
 			Topology:   strategy,
 		}
-		return runRemote(ctx, *serverURL, bm, settings, !*noVerify, *progress, stdout, stderr)
+		return runRemote(ctx, *serverURL, bm, settings, remoteOptions{
+			verify:   !*noVerify,
+			progress: *progress,
+			priority: prio,
+			deadline: *deadline,
+		}, stdout, stderr)
+	}
+	if *priority != "" || *deadline != "" {
+		return errors.New("-priority/-deadline only apply with -server (the local run has no scheduler)")
 	}
 
 	t := tech.Default()
@@ -234,16 +254,26 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	return nil
 }
 
+// remoteOptions carries the -server submission knobs.
+type remoteOptions struct {
+	verify   bool
+	progress bool
+	priority ctsserver.Priority
+	deadline string
+}
+
 // runRemote submits the benchmark to a ctsd instance, streams its progress
 // events and prints the final JobStatus JSON (cts.Result plus the cacheHit
 // marker) to stdout.
-func runRemote(ctx context.Context, url string, bm bench.Benchmark, settings cts.Settings, verify, progress bool, stdout, stderr io.Writer) error {
+func runRemote(ctx context.Context, url string, bm bench.Benchmark, settings cts.Settings, opts remoteOptions, stdout, stderr io.Writer) error {
 	client := ctsserver.NewClient(url)
 	st, err := client.Submit(ctx, ctsserver.JobRequest{
 		Name:     bm.Name,
 		Sinks:    ctsserver.SinksFromCTS(bm.Sinks),
 		Settings: &settings,
-		Verify:   verify,
+		Verify:   opts.verify,
+		Priority: opts.priority,
+		Deadline: opts.deadline,
 	})
 	if err != nil {
 		return err
@@ -251,7 +281,7 @@ func runRemote(ctx context.Context, url string, bm bench.Benchmark, settings cts
 	fmt.Fprintf(stderr, "submitted %s (%d sinks) as %s: %s\n", bm.Name, len(bm.Sinks), st.ID, st.State)
 	if !st.State.Terminal() {
 		var onEvent func(cts.WireEvent)
-		if progress {
+		if opts.progress {
 			onEvent = func(we cts.WireEvent) {
 				switch we.Kind {
 				case "level-done":

@@ -88,6 +88,26 @@ func TestRunBadInputs(t *testing.T) {
 			args:    []string{"-bench", "r1", "-max-sinks", "4", "-server", "http://127.0.0.1:1"},
 			wantErr: "connection refused",
 		},
+		{
+			name:    "priority without server",
+			args:    []string{"-bench", "r1", "-max-sinks", "4", "-priority", "high"},
+			wantErr: "-priority/-deadline only apply with -server",
+		},
+		{
+			name:    "deadline without server",
+			args:    []string{"-bench", "r1", "-max-sinks", "4", "-deadline", "2026-01-01T00:00:00Z"},
+			wantErr: "-priority/-deadline only apply with -server",
+		},
+		{
+			name:    "unknown priority",
+			args:    []string{"-bench", "r1", "-max-sinks", "4", "-server", "http://127.0.0.1:1", "-priority", "urgent"},
+			wantErr: "unknown priority",
+		},
+		{
+			name:    "malformed deadline",
+			args:    []string{"-bench", "r1", "-max-sinks", "4", "-server", "http://127.0.0.1:1", "-deadline", "2026-07-29 12:00"},
+			wantErr: "parsing -deadline",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -124,7 +144,8 @@ func TestRunServerMode(t *testing.T) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
-	args := []string{"-bench", "r1", "-max-sinks", "8", "-no-verify", "-progress", "-server", ts.URL}
+	args := []string{"-bench", "r1", "-max-sinks", "8", "-no-verify", "-progress",
+		"-priority", "high", "-deadline", "2999-01-01T00:00:00Z", "-server", ts.URL}
 	var first, second, stderr bytes.Buffer
 	if err := run(context.Background(), args, &first, &stderr); err != nil {
 		t.Fatalf("first remote run: %v (stderr: %s)", err, stderr.String())
@@ -140,6 +161,9 @@ func TestRunServerMode(t *testing.T) {
 	}
 	if !strings.Contains(second.String(), `"state": "done"`) {
 		t.Errorf("remote run did not finish done:\n%s", second.String())
+	}
+	if !strings.Contains(second.String(), `"priority": "high"`) {
+		t.Errorf("-priority did not reach the wire:\n%s", second.String())
 	}
 }
 

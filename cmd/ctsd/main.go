@@ -8,7 +8,13 @@
 //	ctsd                                  # listen on :8155, characterized library
 //	ctsd -addr 127.0.0.1:0 -analytic      # random port, fast start
 //	ctsd -workers 8 -queue 128 -cache-mb 256
+//	ctsd -cache-dir /var/lib/ctsd -cache-disk-mb 4096  # cache survives restarts
 //	ctsd -addr 127.0.0.1:0 -addr-file /tmp/ctsd.addr   # write the bound address
+//
+// With -cache-dir the result cache gains a disk tier: completed results are
+// written through to the directory (one compressed file per canonical key)
+// and read back on memory misses, so a restarted ctsd answers resubmissions
+// of pre-restart jobs from disk without running synthesis.
 //
 // On SIGINT/SIGTERM the server drains gracefully: intake stops (new
 // submissions answer 503, /healthz flips to 503) and every accepted job
@@ -47,7 +53,9 @@ func run() error {
 		addrFile     = flag.String("addr-file", "", "write the bound address to this file once listening")
 		workers      = flag.Int("workers", 0, "concurrently running jobs (0 = GOMAXPROCS)")
 		queue        = flag.Int("queue", 64, "queued-job bound; submissions beyond it answer 429")
-		cacheMB      = flag.Int64("cache-mb", 64, "result-cache budget in MiB (0 disables caching)")
+		cacheMB      = flag.Int64("cache-mb", 64, "memory result-cache budget in MiB (0 disables the memory tier)")
+		cacheDir     = flag.String("cache-dir", "", "directory for the persistent result-cache tier (empty = memory only)")
+		cacheDiskMB  = flag.Int64("cache-disk-mb", 1024, "disk cache budget in MiB (0 = unbounded); needs -cache-dir")
 		par          = flag.Int("parallelism", 0, "intra-run merge fan-out per job (0 = GOMAXPROCS)")
 		maxSinks     = flag.Int("max-sinks", 0, "per-request sink limit (0 = unlimited)")
 		retention    = flag.Int("retention", 4096, "terminal jobs kept addressable for status/replay")
@@ -67,18 +75,27 @@ func run() error {
 	if *cacheMB == 0 {
 		cacheBytes = -1 // disabled
 	}
+	cacheDiskBytes := *cacheDiskMB << 20
+	if *cacheDiskMB == 0 {
+		cacheDiskBytes = -1 // unbounded
+	}
 	srv, err := ctsserver.New(ctsserver.Options{
-		Tech:         t,
-		Library:      lib,
-		Workers:      *workers,
-		QueueDepth:   *queue,
-		CacheBytes:   cacheBytes,
-		Parallelism:  *par,
-		MaxSinks:     *maxSinks,
-		JobRetention: *retention,
+		Tech:           t,
+		Library:        lib,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		CacheBytes:     cacheBytes,
+		CacheDir:       *cacheDir,
+		CacheDiskBytes: cacheDiskBytes,
+		Parallelism:    *par,
+		MaxSinks:       *maxSinks,
+		JobRetention:   *retention,
 	})
 	if err != nil {
 		return err
+	}
+	if *cacheDir != "" {
+		log.Printf("persistent result cache in %s", *cacheDir)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

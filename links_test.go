@@ -1,0 +1,110 @@
+package repro
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles are the repo-level documents the link gate covers.
+var docFiles = []string{"README.md", "ARCHITECTURE.md", "ROADMAP.md"}
+
+// mdLink matches inline markdown links [text](target); reference-style
+// links are not used in this repo.
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// mdHeading matches ATX headings for anchor checking.
+var mdHeading = regexp.MustCompile(`(?m)^#{1,6}\s+(.+?)\s*#*\s*$`)
+
+// TestMarkdownLinksResolve is the docs gate over the repo markdown: every
+// relative link in README/ARCHITECTURE/ROADMAP must point at an existing
+// file (and, for #fragments, an existing heading).  External http(s) links
+// are skipped — CI must not depend on the network.
+func TestMarkdownLinksResolve(t *testing.T) {
+	anchors := map[string]map[string]bool{}
+	for _, f := range docFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatalf("docs gate: %v (the file is linked from the gate's list; update docFiles if it moved)", err)
+		}
+		anchors[f] = headingAnchors(string(data))
+	}
+	for _, f := range docFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"), strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue
+			}
+			file, frag, _ := strings.Cut(target, "#")
+			if file == "" {
+				file = f // same-document anchor
+			}
+			if _, err := os.Stat(file); err != nil {
+				t.Errorf("%s: broken link %q: %v", f, target, err)
+				continue
+			}
+			if frag == "" {
+				continue
+			}
+			known, ok := anchors[file]
+			if !ok {
+				// Anchors are only indexed for the gated documents; a
+				// fragment into another file type cannot be checked.
+				continue
+			}
+			if !known[frag] {
+				t.Errorf("%s: link %q points at a missing heading anchor", f, target)
+			}
+		}
+	}
+}
+
+// headingAnchors derives GitHub-style anchors from a document's headings.
+func headingAnchors(doc string) map[string]bool {
+	out := map[string]bool{}
+	for _, m := range mdHeading.FindAllStringSubmatch(doc, -1) {
+		h := strings.ToLower(m[1])
+		// Strip everything but letters, digits, spaces and hyphens, then
+		// hyphenate spaces — the GitHub slug rule, minus unicode niceties.
+		var b strings.Builder
+		for _, r := range h {
+			switch {
+			case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-':
+				b.WriteRune(r)
+			case r == ' ':
+				b.WriteRune('-')
+			}
+		}
+		out[b.String()] = true
+	}
+	return out
+}
+
+// TestDocumentsExist pins the documentation set itself: the architecture
+// tour must exist and be linked from both the README and the ROADMAP, so
+// it cannot silently rot out of the entry points.
+func TestDocumentsExist(t *testing.T) {
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	roadmap, err := os.ReadFile("ROADMAP.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat("ARCHITECTURE.md"); err != nil {
+		t.Fatalf("ARCHITECTURE.md missing: %v", err)
+	}
+	for name, data := range map[string][]byte{"README.md": readme, "ROADMAP.md": roadmap} {
+		if !strings.Contains(string(data), "ARCHITECTURE.md") {
+			t.Errorf("%s does not link ARCHITECTURE.md", name)
+		}
+	}
+}

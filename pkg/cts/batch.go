@@ -18,9 +18,12 @@ type BatchItem struct {
 // BatchResult is the outcome of one batch item.  Exactly one of Result and
 // Err is non-nil.
 type BatchResult struct {
-	Name   string
+	// Name echoes the item's label.
+	Name string
+	// Result is the successful synthesis outcome, nil on failure.
 	Result *Result
-	Err    error
+	// Err is the run's failure (including ctx.Err() on cancellation).
+	Err error
 }
 
 // RunBatch synthesizes every item concurrently over a bounded worker pool of

@@ -201,12 +201,15 @@ func ParseTopologyStrategy(s string) (TopologyStrategy, error) {
 // Item summarizes one sub-tree root for topology pairing: its position and
 // its root-to-sink latency.
 type Item struct {
-	Pos   geom.Point
+	// Pos is the sub-tree root location in micrometres.
+	Pos geom.Point
+	// Delay is the root-to-sink latency in ps.
 	Delay float64
 }
 
 // Pairing is a matched pair of item indices to be merged at one level.
 type Pairing struct {
+	// A and B index the level's item slice; A < B by convention.
 	A, B int
 }
 
@@ -216,6 +219,8 @@ type Pairing struct {
 // implementation is the greedy nearest-neighbour matching of
 // internal/topology with cost alpha*distance + beta*|delay difference|.
 type TopologyBuilder interface {
+	// Pair matches the level's items; deterministic implementations keep
+	// whole-flow results reproducible (and content-addressable).
 	Pair(ctx context.Context, items []Item) (pairs []Pairing, seed int, err error)
 }
 
@@ -234,6 +239,8 @@ type TopologyBuilder interface {
 // entries are pure functions of the load, so parallel and sequential merges
 // produce identical trees.
 type MergeRouter interface {
+	// Merge joins two sub-trees into one buffered, slew-feasible sub-tree;
+	// it may be called concurrently (see the type documentation).
 	Merge(ctx context.Context, a, b *mergeroute.Subtree) (merged *mergeroute.Subtree, flips int, err error)
 }
 
@@ -242,6 +249,8 @@ type MergeRouter interface {
 // builds a buffered feed line so the slew constraint holds on the feed as
 // well.  source is nil when the source coincides with the final tree root.
 type Bufferer interface {
+	// AttachSource completes the sub-tree into a full clock tree rooted at
+	// the source (nil source: the tree root itself).
 	AttachSource(ctx context.Context, root *mergeroute.Subtree, source *geom.Point) (*clocktree.Tree, error)
 }
 
@@ -249,6 +258,7 @@ type Bufferer interface {
 // implementation is the library-based analysis of internal/clocktree
 // (Section 3.2.3).
 type Timer interface {
+	// Analyze computes per-sink latencies, skew and worst slew (all ps).
 	Analyze(ctx context.Context, tree *clocktree.Tree) (*clocktree.Timing, error)
 }
 
@@ -256,5 +266,6 @@ type Timer interface {
 // paper's "SPICE simulation of the clock tree netlist").  The default
 // implementation is clocktree.Verify over internal/spice.
 type Verifier interface {
+	// Verify simulates the completed tree and reports measured timing (ps).
 	Verify(ctx context.Context, tree *clocktree.Tree) (*clocktree.VerifyResult, error)
 }

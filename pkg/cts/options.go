@@ -25,7 +25,8 @@ type Settings struct {
 	// Alpha and Beta weight distance (um) and delay difference (ps) in the
 	// nearest-neighbour cost of equation 4.1.  Defaults: 1 and 20.
 	Alpha float64 `json:"alpha"`
-	Beta  float64 `json:"beta"`
+	// Beta is Alpha's delay-difference counterpart (see Alpha).
+	Beta float64 `json:"beta"`
 	// GridSize is the initial routing grid resolution R (default 45).
 	GridSize int `json:"gridSize"`
 	// Correction selects the H-structure handling.

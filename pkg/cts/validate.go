@@ -25,11 +25,15 @@ const (
 // problems) and Other the second sink involved for name clashes (-1
 // otherwise).
 type SinkSetError struct {
-	Code  string
+	// Code is one of the SinkErr… constants.
+	Code string
+	// Index is the offending sink's position, -1 for set-level problems.
 	Index int
+	// Other is the second sink of a name clash, -1 otherwise.
 	Other int
-	Name  string
-	msg   string
+	// Name is the sink name involved, when one is.
+	Name string
+	msg  string
 }
 
 // Error implements the error interface.

@@ -14,16 +14,26 @@ import (
 // sends them as Server-Sent Events).  Elapsed is carried in milliseconds and
 // the run error as a plain string so the type round-trips through JSON.
 type WireEvent struct {
-	Kind      string  `json:"kind"`
-	Item      string  `json:"item,omitempty"`
-	Stage     string  `json:"stage,omitempty"`
-	Level     int     `json:"level,omitempty"`
-	Sinks     int     `json:"sinks,omitempty"`
-	Subtrees  int     `json:"subtrees,omitempty"`
-	Pairs     int     `json:"pairs,omitempty"`
-	Flips     int     `json:"flips,omitempty"`
+	// Kind is the EventKind token ("flow-start", "stage-end", …).
+	Kind string `json:"kind"`
+	// Item labels the batch item the event belongs to, when batching.
+	Item string `json:"item,omitempty"`
+	// Stage names the pipeline stage for stage-start/stage-end events.
+	Stage string `json:"stage,omitempty"`
+	// Level is the 1-based topology level, 0 outside the level loop.
+	Level int `json:"level,omitempty"`
+	// Sinks is the run's sink count (flow-start events).
+	Sinks int `json:"sinks,omitempty"`
+	// Subtrees is the number of sub-tree roots remaining after the level.
+	Subtrees int `json:"subtrees,omitempty"`
+	// Pairs is the number of pairs merged at the level.
+	Pairs int `json:"pairs,omitempty"`
+	// Flips counts H-structure correction re-pairings at the level.
+	Flips int `json:"flips,omitempty"`
+	// ElapsedMs is the event's elapsed wall-clock time in milliseconds.
 	ElapsedMs float64 `json:"elapsedMs,omitempty"`
-	Error     string  `json:"error,omitempty"`
+	// Error carries the run error of a terminal flow-end event.
+	Error string `json:"error,omitempty"`
 }
 
 // Wire converts the event to its JSON wire form.

@@ -4,12 +4,19 @@ import (
 	"container/list"
 	"encoding/json"
 	"sync"
+
+	"repro/pkg/ctsserver/store"
 )
 
 // resultCache is the content-addressed result cache: canonical request key
 // (cts.CanonicalKey, plus the verify marker) → rendered cts.Result JSON.
-// Entries are kept LRU within a byte budget measured over the stored JSON,
-// so a burst of large results evicts the coldest ones first.
+// It is two tiers deep.  The memory tier keeps entries LRU within a byte
+// budget measured over the stored JSON, so a burst of large results evicts
+// the coldest ones first.  The optional disk tier (a store.Store) sits
+// under it: every completed job writes through to disk, a memory miss reads
+// through from disk (promoting the entry back into memory), and because the
+// disk tier survives process restarts, a freshly started server answers
+// resubmissions of pre-restart work without synthesis.
 type resultCache struct {
 	mu        sync.Mutex
 	maxBytes  int64
@@ -19,6 +26,10 @@ type resultCache struct {
 	hits      int64
 	misses    int64
 	evictions int64
+
+	// disk is the persistent tier; nil without a cache directory.  It has
+	// its own lock, so disk I/O never serializes memory-tier lookups.
+	disk *store.Store
 }
 
 type cacheEntry struct {
@@ -26,44 +37,74 @@ type cacheEntry struct {
 	data json.RawMessage
 }
 
-// newResultCache builds a cache with the byte budget; maxBytes <= 0 disables
-// caching entirely (every lookup misses, every store is dropped).
-func newResultCache(maxBytes int64) *resultCache {
+// newResultCache builds a cache with the byte budget; maxBytes <= 0
+// disables the memory tier (every lookup falls through to disk, every
+// store goes only to disk).  disk may be nil for a memory-only cache.
+func newResultCache(maxBytes int64, disk *store.Store) *resultCache {
 	return &resultCache{
 		maxBytes: maxBytes,
 		order:    list.New(),
 		items:    map[string]*list.Element{},
+		disk:     disk,
 	}
 }
 
 // get returns the cached result JSON for the key, refreshing its recency.
+// A memory miss falls through to the disk tier; a disk hit is promoted
+// into the memory tier so repeats stay off the disk.
 func (c *resultCache) get(key string) (json.RawMessage, bool) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.items[key]
-	if !ok {
-		c.misses++
-		return nil, false
+	if el, ok := c.items[key]; ok {
+		c.hits++
+		c.order.MoveToFront(el)
+		data := el.Value.(*cacheEntry).data
+		c.mu.Unlock()
+		return data, true
 	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).data, true
-}
+	c.mu.Unlock()
 
-// put stores the result JSON under the key and evicts LRU entries until the
-// cache fits the byte budget again.  Results larger than the whole budget
-// are not stored.
-func (c *resultCache) put(key string, data json.RawMessage) {
-	size := int64(len(data))
-	if size > c.maxBytes {
-		return
+	if c.disk != nil {
+		if data, ok := c.disk.Get(key); ok {
+			c.mu.Lock()
+			c.hits++
+			c.insertLocked(key, data)
+			c.mu.Unlock()
+			return data, true
+		}
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.misses++
+	c.mu.Unlock()
+	return nil, false
+}
+
+// put stores the result JSON in the memory tier (evicting LRU entries until
+// the byte budget holds again; results larger than the whole budget are not
+// kept in memory) and writes through to the disk tier.
+func (c *resultCache) put(key string, data json.RawMessage) {
+	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		// Identical requests produce identical results, so a re-store only
 		// refreshes recency.
 		c.order.MoveToFront(el)
+		c.mu.Unlock()
+	} else {
+		c.insertLocked(key, data)
+		c.mu.Unlock()
+	}
+	if c.disk != nil {
+		c.disk.Put(key, data)
+	}
+}
+
+// insertLocked adds one entry to the memory tier and evicts down to the
+// budget.  Callers must hold c.mu.
+func (c *resultCache) insertLocked(key string, data json.RawMessage) {
+	size := int64(len(data))
+	if size > c.maxBytes {
+		return
+	}
+	if _, ok := c.items[key]; ok {
 		return
 	}
 	c.items[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
@@ -81,11 +122,10 @@ func (c *resultCache) put(key string, data json.RawMessage) {
 	}
 }
 
-// stats snapshots the cache counters.
+// stats snapshots the cache counters across both tiers.
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{
+	st := CacheStats{
 		Entries:   len(c.items),
 		Bytes:     c.bytes,
 		MaxBytes:  c.maxBytes,
@@ -93,4 +133,10 @@ func (c *resultCache) stats() CacheStats {
 		Misses:    c.misses,
 		Evictions: c.evictions,
 	}
+	c.mu.Unlock()
+	if c.disk != nil {
+		ds := c.disk.Stats()
+		st.Disk = &ds
+	}
+	return st
 }

@@ -10,7 +10,7 @@ func TestResultCacheLRUByteBudget(t *testing.T) {
 	payload := func(i int) json.RawMessage {
 		return json.RawMessage(fmt.Sprintf(`{"x":%04d}`, i)) // 10 bytes each
 	}
-	c := newResultCache(30) // fits three entries
+	c := newResultCache(30, nil) // fits three entries
 	for i := 0; i < 3; i++ {
 		c.put(fmt.Sprintf("k%d", i), payload(i))
 	}
@@ -50,7 +50,7 @@ func TestResultCacheLRUByteBudget(t *testing.T) {
 }
 
 func TestResultCacheDisabled(t *testing.T) {
-	c := newResultCache(-1)
+	c := newResultCache(-1, nil)
 	c.put("k", json.RawMessage(`{}`))
 	if _, ok := c.get("k"); ok {
 		t.Error("disabled cache served a hit")

@@ -1,49 +1,130 @@
 // Package ctsserver is the long-lived synthesis service in front of the
-// repro/pkg/cts pipeline: an HTTP JSON job API with streaming progress and a
-// content-addressed result cache, served by the ctsd command and consumed by
-// the Client in this package (or any HTTP client).
+// repro/pkg/cts pipeline: an HTTP JSON job API with streaming progress, a
+// priority/deadline scheduler and a two-tier (memory + disk) content-
+// addressed result cache, served by the ctsd command and consumed by the
+// Client in this package (or any HTTP client).
 //
-// # Endpoints
+// # Wire contract
 //
-//	POST   /v1/jobs             submit a JobRequest (sink set + cts.Settings);
-//	                            202 with a queued JobStatus, 200 on a cache
-//	                            hit (the job is born done), 400 with a
-//	                            structured validation error, 429 when the
-//	                            queue is full, 503 while draining
-//	GET    /v1/jobs/{id}        JobStatus; Result carries the cts.Result
-//	                            JSON once the job is done
-//	GET    /v1/jobs/{id}/events Server-Sent Events: "flow" events stream the
-//	                            run's observer events (cts.WireEvent JSON)
-//	                            live, and a terminal "done" event carries the
-//	                            final JobStatus.  The full history is
-//	                            replayed first, so subscribing after the job
-//	                            finished still yields every event
-//	DELETE /v1/jobs/{id}        cancel: queued jobs end immediately, running
-//	                            jobs are canceled through their context
-//	GET    /v1/stats            scheduler, cache and per-stage synthesis
-//	                            metrics (Stats)
-//	GET    /healthz             200 while serving, 503 while draining
+// Every request and response body is JSON; every non-2xx response wraps an
+// APIError as {"error": {"code": ..., "message": ..., ...}}.  The endpoints:
 //
-// # Scheduling
+//	POST   /v1/jobs             submit a JobRequest
+//	GET    /v1/jobs/{id}        fetch a JobStatus
+//	GET    /v1/jobs/{id}/events subscribe to the job's event stream (SSE)
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/stats            scheduler/cache/synthesis statistics (Stats)
+//	GET    /healthz             liveness (Health)
 //
-// Behind the API sits a bounded scheduler: a FIFO queue of configurable
-// depth (Options.QueueDepth) drained by a fixed worker pool
-// (Options.Workers).  Every job runs under its own context, so DELETE
-// cancels promptly and frees the worker slot; submissions beyond the queue
-// depth fail fast with 429 rather than building an unbounded backlog.
+// # POST /v1/jobs
+//
+// The body is a JobRequest: a sink set (required), optional cts.Settings
+// (absent fields default exactly as the cts.With… options do), an optional
+// verify marker, and the scheduling fields priority ("low", "normal",
+// "high"; absent means "normal") and deadline (RFC 3339; absent means
+// none).  Responses:
+//
+//	202 Accepted  the job was queued; the JobStatus carries its id
+//	200 OK        the job was born terminal: either a cache hit (state
+//	              "done", cacheHit true, result attached) or — when the
+//	              deadline already passed at submission — state "expired"
+//	              with a Retry-After: 0 header (see Deadlines below)
+//	400           undecodable body, sink-set validation failure (structured
+//	              cts.SinkSetError codes, with the offending sink index),
+//	              rejected settings, an unknown priority, a malformed
+//	              deadline, or a sink set over the server's -max-sinks
+//	429           the queue is full; the response carries a Retry-After
+//	              header and the same hint in error.retryAfter (seconds)
+//	503           the server is draining and accepts no new work
+//
+// # GET /v1/jobs/{id}
+//
+// 200 with the job's JobStatus, or 404 once retention has forgotten it
+// (terminal jobs stay addressable until the retention bounds evict them).
+// A done job's status carries the full cts.Result JSON in result.
+//
+// # GET /v1/jobs/{id}/events
+//
+// A Server-Sent Events stream.  Each event has an incrementing id, an
+// event type and one data line:
+//
+//	event: flow   data: one cts.WireEvent JSON — an observer event of the
+//	              running synthesis (stage-start/stage-end/level-done/…)
+//	event: done   data: the final JobStatus JSON; the stream ends after it
+//
+// The full history is replayed first, so subscribing to a finished job
+// yields every event, terminal one included; subscribers never miss events
+// in the gap between replay and live tail.  Cache-hit and born-expired
+// jobs emit only the terminal "done" event.
+//
+// # DELETE /v1/jobs/{id}
+//
+// Cancellation is idempotent and always answers 200 with the job's current
+// status (404 only for unknown ids).  A queued job goes terminal
+// ("canceled") immediately and releases its queue slot; a running job is
+// canceled through its context and reaches "canceled" when the run
+// unwinds, so the response may still report "running".  DELETE on an
+// already-terminal job — done, failed, canceled or expired — is a no-op:
+// the state never changes (a done job keeps its result), the canceled
+// counter is not incremented, and the response simply carries the
+// unchanged status.  This is the pinned contract; clients may retry
+// DELETE freely.
+//
+// # Scheduling: priorities and deadlines
+//
+// Behind the API sits a bounded scheduler: a priority queue of
+// configurable depth (Options.QueueDepth) drained by a fixed worker pool
+// (Options.Workers).  Dispatch order is priority class first (high >
+// normal > low), earliest deadline next (a job without a deadline sorts
+// after any job with one in its class), submission order last.  A
+// high-priority job therefore never waits behind lower-priority work once
+// a worker frees; priorities never preempt a run already in progress.
+// Submissions beyond the queue depth fail fast with 429 rather than
+// building an unbounded backlog.
+//
+// Deadlines bound a result's usefulness, and expiry is its own terminal
+// state, "expired", distinct from "failed" and "canceled":
+//
+//   - A deadline already in the past at submission: the job is born
+//     expired (200, never queued, no synthesis).  The response carries
+//     Retry-After: 0 — the condition is client-chosen, not a server
+//     limit, so an immediate resubmission with a fresh deadline is fine.
+//   - The deadline passes while the job is queued: the worker that pops
+//     it retires it as expired instead of running it.
+//   - The deadline passes mid-run: the job context (which carries the
+//     deadline) cancels the run, and the job terminates as expired.
+//
+// Nothing about an expiry is remembered against the request's cache key:
+// resubmitting the identical sink set afterwards runs (or serves)
+// normally.  Conversely a cache hit is served even past the deadline —
+// the result already exists, so expiring it would only withhold it.
+// Neither priority nor deadline participates in the cache key.
+//
 // Server.Drain — wired to SIGTERM in ctsd — stops intake (new submissions
 // see 503, /healthz flips to 503) and completes every job already accepted
 // before returning.
 //
 // # Result cache
 //
-// Results are cached under cts.CanonicalKey(effective settings, sinks): a
-// resubmitted sink set is answered from the cache as a job that is born
-// done with CacheHit set, performing no synthesis work.  The cache is LRU
-// within a byte budget (Options.CacheBytes) measured over the stored Result
-// JSON.  Because synthesis is deterministic, a cached result is bit-identical
-// to what a fresh run would produce.
+// Results are cached under cts.CanonicalKey(effective settings, sinks)
+// (plus a "+verify" marker for verified runs): a resubmitted sink set is
+// answered as a job born done with cacheHit set, performing no synthesis.
+// Because synthesis is deterministic, a cached result is bit-identical to
+// what a fresh run would produce.
+//
+// The cache is two tiers deep.  The memory tier is LRU within a byte
+// budget (Options.CacheBytes) over the stored Result JSON.  The optional
+// disk tier (Options.CacheDir / Options.CacheDiskBytes; package
+// repro/pkg/ctsserver/store) persists one gzip-compressed result per key
+// with crash-safe writes and its own LRU-by-atime byte budget: completed
+// jobs write through to it, memory misses read through from it (promoting
+// the entry), and because it survives restarts, a freshly started server
+// answers resubmissions of pre-restart work from disk — the restart-
+// survival path ctsd's -cache-dir flag enables.  GET /v1/stats reports
+// both tiers (CacheStats, with the disk tier under "disk": hits, misses,
+// evictions, corrupt-entry deletions, occupancy).
 //
 // Terminal jobs stay addressable (status and event replay) until the
-// retention bound (Options.JobRetention) forgets the oldest ones.
+// retention bounds (Options.JobRetention, Options.RetainBytes) forget the
+// oldest ones.
 package ctsserver

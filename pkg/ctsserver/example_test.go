@@ -1,0 +1,68 @@
+package ctsserver_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+
+	"repro/internal/charlib"
+	"repro/internal/tech"
+	"repro/pkg/ctsserver"
+)
+
+// ExampleClient_Submit runs a ctsserver in-process behind an httptest
+// listener, submits a four-sink job at high priority, waits for it over
+// the SSE stream, and shows the resubmission being served from the
+// content-addressed result cache.
+func ExampleClient_Submit() {
+	t := tech.Default()
+	srv, err := ctsserver.New(ctsserver.Options{
+		Tech:    t,
+		Library: charlib.NewAnalytic(t), // closed-form library: fast start
+		Workers: 1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	client := ctsserver.NewClient(ts.URL)
+	req := ctsserver.JobRequest{
+		Name: "quickstart",
+		Sinks: []ctsserver.Sink{
+			{Name: "ff_a", X: 200, Y: 300},
+			{Name: "ff_b", X: 3800, Y: 150},
+			{Name: "ff_c", X: 500, Y: 2800},
+			{Name: "ff_d", X: 3600, Y: 2700},
+		},
+		Priority: ctsserver.PriorityHigh,
+	}
+	ctx := context.Background()
+	st, err := client.Submit(ctx, req)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("submitted: cacheHit=%v priority=%s\n", st.CacheHit, st.Priority)
+
+	// Stream blocks until the terminal "done" event and returns the final
+	// status (replaying history, so this works even if the job already
+	// finished).
+	final, err := client.Stream(ctx, st.ID, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("finished: state=%s hasResult=%v\n", final.State, len(final.Result) > 0)
+
+	// The identical request is served from the result cache: born done,
+	// no synthesis work.
+	again, err := client.Submit(ctx, req)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("resubmitted: state=%s cacheHit=%v\n", again.State, again.CacheHit)
+	// Output:
+	// submitted: cacheHit=false priority=high
+	// finished: state=done hasResult=true
+	// resubmitted: state=done cacheHit=true
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/pkg/cts"
 )
@@ -23,11 +24,15 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError renders the structured error envelope.
+// writeError renders the structured error envelope; a positive RetryAfter
+// also becomes the response's Retry-After header.
 func writeError(w http.ResponseWriter, e *APIError) {
 	status := e.HTTPStatus
 	if status == 0 {
 		status = http.StatusInternalServerError
+	}
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", fmt.Sprint(e.RetryAfter))
 	}
 	writeJSON(w, status, errorBody{Error: e})
 }
@@ -74,6 +79,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, validationError(err))
 		return
 	}
+	priority, err := ParsePriority(string(req.Priority))
+	if err != nil {
+		writeError(w, &APIError{HTTPStatus: http.StatusBadRequest, Code: ErrBadRequest, Message: err.Error()})
+		return
+	}
+	var deadline time.Time
+	if req.Deadline != "" {
+		deadline, err = time.Parse(time.RFC3339, req.Deadline)
+		if err != nil {
+			writeError(w, &APIError{HTTPStatus: http.StatusBadRequest, Code: ErrBadRequest,
+				Message: fmt.Sprintf("parsing deadline (want RFC 3339): %v", err)})
+			return
+		}
+	}
 
 	// The flow is assembled first so the cache key hashes the *effective*
 	// settings: a request spelling out the defaults and one leaving them
@@ -91,17 +110,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		key += "+verify"
 	}
 
-	j := newJob(s.newJobID(), req, key, flow, sinks)
+	j := newJob(s.newJobID(), req, key, flow, sinks, priority, deadline)
 	if data, ok := s.cache.get(key); ok {
-		// Cache hit: the job is born terminal and no synthesis runs.
+		// Cache hit (memory- or disk-served): the job is born terminal and
+		// no synthesis runs.  The hit is served even past the deadline — the
+		// result already exists, so expiring it would only withhold it.
 		s.register(j)
 		s.sched.submitted.Add(1)
 		s.finishJob(j, StateQueued, StateDone, true, data, "")
 		writeJSON(w, http.StatusOK, j.status())
 		return
 	}
+	if !deadline.IsZero() && !time.Now().Before(deadline) {
+		// The deadline passed before admission: the job is born expired and
+		// never queues.  Retry-After: 0 tells the client the condition is
+		// not a server limit — resubmitting with a fresh (or no) deadline
+		// may proceed immediately.
+		s.register(j)
+		s.sched.submitted.Add(1)
+		s.finishJob(j, StateQueued, StateExpired, false, nil,
+			fmt.Sprintf("deadline %s already passed at submission", rfc3339(deadline)))
+		w.Header().Set("Retry-After", "0")
+		writeJSON(w, http.StatusOK, j.status())
+		return
+	}
 
-	ctx, cancel := context.WithCancel(context.Background())
+	// The job context carries the deadline, so a run that outlives it is
+	// canceled mid-flight and terminates as expired.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if deadline.IsZero() {
+		ctx, cancel = context.WithCancel(context.Background())
+	} else {
+		ctx, cancel = context.WithDeadline(context.Background(), deadline)
+	}
 	j.ctx, j.cancel = ctx, cancel
 	jb = j
 	s.register(j)

@@ -28,6 +28,13 @@ type job struct {
 	key       string
 	sinkCount int
 	verify    bool
+	// priority and deadline drive the dispatch order (see jobQueue.Less);
+	// both are fixed at submission.  A zero deadline means none.
+	priority Priority
+	deadline time.Time
+	// seq is the scheduler's admission sequence, the FIFO tiebreak within a
+	// priority/deadline class; assigned under the scheduler lock.
+	seq int64
 	// ctx/cancel bound the run; both are set before the job is enqueued and
 	// never change, so they are safe to read without the mutex.
 	ctx    context.Context
@@ -53,7 +60,7 @@ type job struct {
 	finished time.Time
 }
 
-func newJob(id string, req JobRequest, key string, flow *cts.Flow, sinks []cts.Sink) *job {
+func newJob(id string, req JobRequest, key string, flow *cts.Flow, sinks []cts.Sink, priority Priority, deadline time.Time) *job {
 	return &job{
 		id:        id,
 		name:      req.Name,
@@ -62,6 +69,8 @@ func newJob(id string, req JobRequest, key string, flow *cts.Flow, sinks []cts.S
 		sinks:     sinks,
 		flow:      flow,
 		verify:    req.Verify,
+		priority:  priority,
+		deadline:  deadline,
 		state:     StateQueued,
 		notify:    make(chan struct{}),
 		created:   time.Now(),
@@ -143,6 +152,8 @@ func (j *job) statusLocked() JobStatus {
 		ID:       j.id,
 		Name:     j.name,
 		State:    j.state,
+		Priority: j.priority,
+		Deadline: rfc3339(j.deadline),
 		Key:      j.key,
 		CacheHit: j.cacheHit,
 		Sinks:    j.sinkCount,

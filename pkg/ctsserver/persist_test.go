@@ -1,0 +1,128 @@
+package ctsserver
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+// TestRestartSurvival is the persistence acceptance flow: synthesize
+// against a cache directory, bring up a *fresh* server over the same
+// directory, and resubmit the identical job — it must be served from the
+// disk tier as a cache hit with zero synthesis work.
+func TestRestartSurvival(t *testing.T) {
+	dir := t.TempDir()
+	req := scaledRequest(t, 24)
+	ctx := context.Background()
+
+	srv1, cl1 := newTestServer(t, Options{Workers: 2, QueueDepth: 8, CacheDir: dir})
+	st, err := cl1.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.CacheHit {
+		t.Fatal("first submission was a cache hit on a fresh directory")
+	}
+	first := waitTerminal(t, cl1, st.ID)
+	if first.State != StateDone {
+		t.Fatalf("first run ended %s: %s", first.State, first.Error)
+	}
+	// Drain flushes nothing extra — the write-through happened at job
+	// completion — but mirrors the ctsd shutdown path.
+	if err := srv1.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The "restarted" daemon: a brand-new Server (empty memory tier, fresh
+	// metrics) over the same directory.
+	srv2, cl2 := newTestServer(t, Options{Workers: 2, QueueDepth: 8, CacheDir: dir})
+	st2, err := cl2.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit || st2.State != StateDone {
+		t.Fatalf("post-restart resubmission: cacheHit=%v state=%s", st2.CacheHit, st2.State)
+	}
+	if st2.Key != first.Key {
+		t.Errorf("post-restart key %s differs from original %s", st2.Key, first.Key)
+	}
+	if got, want := normalizedResult(t, st2.Result), normalizedResult(t, first.Result); len(got) == 0 || len(want) == 0 {
+		t.Fatal("empty results")
+	} else if gotJSON, wantJSON := mustJSON(t, got), mustJSON(t, want); gotJSON != wantJSON {
+		t.Errorf("disk-served result differs from the pre-restart run:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+	// Zero synthesis work on the new server: no flow ever started.
+	if m := srv2.Metrics().Snapshot(); m.FlowsStarted != 0 {
+		t.Errorf("restarted server ran %d flows for a disk-served hit, want 0", m.FlowsStarted)
+	}
+	stats, err := cl2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Disk == nil {
+		t.Fatal("stats carry no disk tier")
+	}
+	if stats.Cache.Disk.Hits != 1 || stats.Cache.Hits != 1 {
+		t.Errorf("disk stats after restart hit: cache=%+v disk=%+v", stats.Cache, stats.Cache.Disk)
+	}
+	if stats.Cache.Disk.Dir != dir || stats.Cache.Disk.Entries == 0 {
+		t.Errorf("disk tier snapshot: %+v", stats.Cache.Disk)
+	}
+
+	// A second resubmission is served from memory (the disk hit promoted
+	// the entry), leaving the disk counters unchanged.
+	st3, err := cl2.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st3.CacheHit {
+		t.Error("memory-promoted resubmission missed")
+	}
+	stats2, err := cl2.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Cache.Disk.Hits != 1 || stats2.Cache.Hits != 2 {
+		t.Errorf("promotion did not keep repeats off the disk: cache=%+v disk=%+v",
+			stats2.Cache, stats2.Cache.Disk)
+	}
+}
+
+// mustJSON renders a decoded map back to canonical JSON for comparison.
+func mustJSON(t *testing.T, v map[string]any) string {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestStatsWithoutDiskTier pins that a memory-only server reports no disk
+// block, so operators can tell the tiers apart from /v1/stats alone.
+func TestStatsWithoutDiskTier(t *testing.T) {
+	_, cl := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	stats, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Disk != nil {
+		t.Errorf("memory-only server reports a disk tier: %+v", stats.Cache.Disk)
+	}
+	// The wire field is omitted entirely, not rendered as null.
+	resp, err := http.Get(cl.BaseURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(body), `"disk"`) {
+		t.Error(`stats JSON contains a "disk" field on a memory-only server`)
+	}
+}

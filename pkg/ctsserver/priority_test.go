@@ -1,0 +1,512 @@
+package ctsserver
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/cts"
+)
+
+// jsonBody renders a request body for raw http.Post calls (used where the
+// test needs response headers the Client does not surface).
+func jsonBody(v any) (*bytes.Reader, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return bytes.NewReader(data), nil
+}
+
+// jsonDecode decodes a response body.
+func jsonDecode(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
+// recordingHook returns a run hook that appends each dispatched job's name
+// to order and then parks until release is closed (after which dispatches
+// record and return immediately).
+func recordingHook(order *[]string, mu *sync.Mutex, release <-chan struct{}) func(context.Context, *job) (*cts.Result, error) {
+	return func(ctx context.Context, j *job) (*cts.Result, error) {
+		mu.Lock()
+		*order = append(*order, j.name)
+		mu.Unlock()
+		select {
+		case <-release:
+			return &cts.Result{Levels: 1}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// namedRequest builds distinct sink sets so every submission misses the
+// cache; the name labels the job for dispatch-order assertions.
+func namedRequest(t *testing.T, name string, size int) JobRequest {
+	t.Helper()
+	req := scaledRequest(t, size)
+	req.Name = name
+	return req
+}
+
+// TestHighPriorityDispatchesFirst is the acceptance scenario: a
+// high-priority job submitted after a queue of normal-priority jobs is
+// dispatched before them the moment the single worker frees.
+func TestHighPriorityDispatchesFirst(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	release := make(chan struct{})
+	srv, cl := newTestServer(t, Options{Workers: 1, QueueDepth: 16})
+	srv.runHook = recordingHook(&order, &mu, release)
+	ctx := context.Background()
+
+	// Park the worker on a pilot job, then build a backlog: three normals,
+	// a low, and finally — submitted last — a high.
+	pilot, err := cl.Submit(ctx, namedRequest(t, "pilot", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "worker parked on the pilot job", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == 1
+	})
+	var ids []string
+	for i, spec := range []struct {
+		name string
+		prio Priority
+	}{
+		{"normal-0", PriorityNormal}, {"normal-1", ""}, {"normal-2", PriorityNormal},
+		{"low-0", PriorityLow}, {"high-0", PriorityHigh},
+	} {
+		req := namedRequest(t, spec.name, 5+i)
+		req.Priority = spec.prio
+		st, err := cl.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Priority != spec.prio && !(spec.prio == "" && st.Priority == PriorityNormal) {
+			t.Errorf("%s: status echoes priority %q", spec.name, st.Priority)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	// Per-priority queue depths are visible before dispatch.
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPrio := stats.Scheduler.QueuedByPriority
+	if byPrio[PriorityNormal] != 3 || byPrio[PriorityLow] != 1 || byPrio[PriorityHigh] != 1 {
+		t.Errorf("queued-by-priority before dispatch: %v", byPrio)
+	}
+
+	close(release)
+	for _, id := range append([]string{pilot.ID}, ids...) {
+		waitTerminal(t, cl, id)
+	}
+	mu.Lock()
+	got := strings.Join(order, " ")
+	mu.Unlock()
+	want := "pilot high-0 normal-0 normal-1 normal-2 low-0"
+	if got != want {
+		t.Errorf("dispatch order %q, want %q", got, want)
+	}
+}
+
+// TestSchedulerDispatchProperty is the property test over random
+// submission sequences: with the worker parked, any mix of priorities and
+// deadlines must dispatch in (priority desc, deadline asc with none last,
+// submission order) — in particular, a high-priority job never waits
+// behind a lower-priority one when the worker frees.
+func TestSchedulerDispatchProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	priorities := []Priority{PriorityLow, PriorityNormal, PriorityHigh}
+	for round := 0; round < 5; round++ {
+		var mu sync.Mutex
+		var order []string
+		release := make(chan struct{})
+		srv, cl := newTestServer(t, Options{Workers: 1, QueueDepth: 64})
+		srv.runHook = recordingHook(&order, &mu, release)
+		ctx := context.Background()
+
+		pilot, err := cl.Submit(ctx, namedRequest(t, "pilot", 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, "worker parked", func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(order) == 1
+		})
+
+		// Random backlog; deadlines are far enough out never to expire.
+		type spec struct {
+			name     string
+			rank     int
+			deadline time.Time // zero = none
+			seq      int
+		}
+		count := 6 + rng.Intn(6)
+		specs := make([]spec, count)
+		ids := make([]string, count)
+		base := time.Now().Add(time.Hour)
+		for i := range specs {
+			p := priorities[rng.Intn(len(priorities))]
+			sp := spec{name: fmt.Sprintf("j%d", i), rank: p.rank(), seq: i}
+			req := namedRequest(t, sp.name, 5+i)
+			req.Priority = p
+			if rng.Intn(2) == 1 {
+				sp.deadline = base.Add(time.Duration(rng.Intn(4)) * time.Minute)
+				req.Deadline = sp.deadline.Format(time.RFC3339)
+			}
+			st, err := cl.Submit(ctx, req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			specs[i], ids[i] = sp, st.ID
+		}
+
+		want := append([]spec(nil), specs...)
+		sort.SliceStable(want, func(a, b int) bool {
+			x, y := want[a], want[b]
+			if x.rank != y.rank {
+				return x.rank > y.rank
+			}
+			switch {
+			case x.deadline.IsZero() != y.deadline.IsZero():
+				return !x.deadline.IsZero()
+			case !x.deadline.IsZero() && !x.deadline.Equal(y.deadline):
+				return x.deadline.Before(y.deadline)
+			}
+			return x.seq < y.seq
+		})
+		wantNames := []string{"pilot"}
+		for _, sp := range want {
+			wantNames = append(wantNames, sp.name)
+		}
+
+		close(release)
+		for _, id := range append([]string{pilot.ID}, ids...) {
+			waitTerminal(t, cl, id)
+		}
+		mu.Lock()
+		got := strings.Join(order, " ")
+		mu.Unlock()
+		if want := strings.Join(wantNames, " "); got != want {
+			t.Errorf("round %d: dispatch order\n got %s\nwant %s", round, got, want)
+		}
+	}
+}
+
+// TestDeadlineExpiresQueuedJob pins the queued-expiry path: a job whose
+// deadline passes while it waits never runs synthesis and terminates as
+// expired, releasing its queue slot.
+func TestDeadlineExpiresQueuedJob(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	release := make(chan struct{})
+	srv, cl := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	srv.runHook = recordingHook(&order, &mu, release)
+	ctx := context.Background()
+
+	pilot, err := cl.Submit(ctx, namedRequest(t, "pilot", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, "worker parked", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == 1
+	})
+
+	req := namedRequest(t, "doomed", 5)
+	req.Deadline = time.Now().Add(30 * time.Millisecond).Format(time.RFC3339Nano)
+	doomed, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doomed.State != StateQueued {
+		t.Fatalf("job with a near deadline was not admitted: %+v", doomed)
+	}
+	time.Sleep(60 * time.Millisecond) // let the deadline pass while queued
+	close(release)
+
+	st := waitTerminal(t, cl, doomed.ID)
+	if st.State != StateExpired {
+		t.Fatalf("queued job past its deadline ended %s, want expired", st.State)
+	}
+	if !strings.Contains(st.Error, "deadline") {
+		t.Errorf("expired error %q does not mention the deadline", st.Error)
+	}
+	mu.Lock()
+	ran := strings.Join(order, " ")
+	mu.Unlock()
+	if strings.Contains(ran, "doomed") {
+		t.Error("expired job ran synthesis")
+	}
+	waitTerminal(t, cl, pilot.ID)
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scheduler.Expired != 1 {
+		t.Errorf("scheduler stats after queued expiry: %+v", stats.Scheduler)
+	}
+}
+
+// TestDeadlineCancelsRunningJob pins the mid-run expiry path: the job
+// context carries the deadline, so a run that outlives it unwinds and the
+// job terminates as expired (not canceled, not failed).
+func TestDeadlineCancelsRunningJob(t *testing.T) {
+	srv, cl := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	srv.runHook = func(ctx context.Context, j *job) (*cts.Result, error) {
+		<-ctx.Done() // park until the deadline cancels the run
+		return nil, ctx.Err()
+	}
+	ctx := context.Background()
+
+	req := scaledRequest(t, 4)
+	req.Deadline = time.Now().Add(50 * time.Millisecond).Format(time.RFC3339Nano)
+	st, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, cl, st.ID)
+	if final.State != StateExpired {
+		t.Fatalf("running job past its deadline ended %s (%s), want expired", final.State, final.Error)
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scheduler.Expired != 1 || stats.Scheduler.Canceled != 0 || stats.Scheduler.Failed != 0 {
+		t.Errorf("scheduler stats after mid-run expiry: %+v", stats.Scheduler)
+	}
+}
+
+// TestExpiredAtSubmission pins the born-expired path: a deadline already in
+// the past terminates the job at submission (HTTP 200, state expired,
+// Retry-After: 0) without admitting it to the queue.
+func TestExpiredAtSubmission(t *testing.T) {
+	srv, cl := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+
+	req := scaledRequest(t, 4)
+	req.Deadline = time.Now().Add(-time.Second).Format(time.RFC3339)
+	body, err := jsonBody(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(cl.BaseURL+"/v1/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("born-expired submission: HTTP %d, want 200", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "0" {
+		t.Errorf("born-expired Retry-After = %q, want \"0\"", got)
+	}
+	var st JobStatus
+	if err := jsonDecode(resp.Body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateExpired || st.CacheHit {
+		t.Fatalf("born-expired status: %+v", st)
+	}
+	if m := srv.Metrics().Snapshot(); m.FlowsStarted != 0 {
+		t.Errorf("born-expired job started %d flows", m.FlowsStarted)
+	}
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scheduler.Expired != 1 || stats.Scheduler.Queued != 0 {
+		t.Errorf("scheduler stats after born-expired: %+v", stats.Scheduler)
+	}
+
+	// The status stays addressable like any terminal job.
+	got, err := cl.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateExpired {
+		t.Errorf("born-expired job reads back %s", got.State)
+	}
+}
+
+// TestResubmissionOfExpiredKey pins the documented contract: nothing about
+// an expiry is remembered against the request's cache key.  The identical
+// request resubmitted without (or within) a deadline runs normally, and
+// once the key is cached, even a past-deadline submission is served as a
+// done cache hit — the result exists, so expiring it would only withhold
+// it.
+func TestResubmissionOfExpiredKey(t *testing.T) {
+	_, cl := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+
+	req := scaledRequest(t, 8)
+	expired := req
+	expired.Deadline = time.Now().Add(-time.Second).Format(time.RFC3339)
+	st, err := cl.Submit(ctx, expired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateExpired {
+		t.Fatalf("past-deadline submission ended %s", st.State)
+	}
+
+	// Same sinks, no deadline: runs fresh, unpoisoned by the expiry.
+	st2, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.CacheHit {
+		t.Fatal("resubmission of an expired key claimed a cache hit before any run")
+	}
+	if st2.Key != st.Key {
+		t.Fatalf("same sinks produced different keys: %s vs %s", st2.Key, st.Key)
+	}
+	final := waitTerminal(t, cl, st2.ID)
+	if final.State != StateDone {
+		t.Fatalf("resubmitted job ended %s: %s", final.State, final.Error)
+	}
+
+	// Now the key is cached: even a past-deadline submission is served done.
+	st3, err := cl.Submit(ctx, expired)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st3.CacheHit || st3.State != StateDone {
+		t.Errorf("cached key with a past deadline: cacheHit=%v state=%s, want served done",
+			st3.CacheHit, st3.State)
+	}
+}
+
+// TestDeleteTerminalJobIsIdempotent pins the documented DELETE contract on
+// already-terminal jobs: a no-op answering 200 with the unchanged status,
+// never flipping the state and never touching the canceled counter.
+func TestDeleteTerminalJobIsIdempotent(t *testing.T) {
+	_, cl := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+
+	// A done job.
+	done, err := cl.Submit(ctx, scaledRequest(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, cl, done.ID); st.State != StateDone {
+		t.Fatalf("setup job ended %s", st.State)
+	}
+	for i := 0; i < 2; i++ {
+		st, err := cl.Cancel(ctx, done.ID)
+		if err != nil {
+			t.Fatalf("DELETE %d on a done job: %v", i, err)
+		}
+		if st.State != StateDone || len(st.Result) == 0 {
+			t.Fatalf("DELETE %d flipped a done job to %s (result present: %v)",
+				i, st.State, len(st.Result) > 0)
+		}
+	}
+
+	// An expired job behaves the same.
+	req := scaledRequest(t, 4)
+	req.Deadline = time.Now().Add(-time.Second).Format(time.RFC3339)
+	exp, err := cl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Cancel(ctx, exp.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateExpired {
+		t.Errorf("DELETE flipped an expired job to %s", st.State)
+	}
+
+	stats, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Scheduler.Canceled != 0 {
+		t.Errorf("DELETE on terminal jobs bumped the canceled counter: %+v", stats.Scheduler)
+	}
+}
+
+// TestBadPriorityAndDeadlineAre400s pins the request-validation side of the
+// new fields.
+func TestBadPriorityAndDeadlineAre400s(t *testing.T) {
+	_, cl := newTestServer(t, Options{Workers: 1, QueueDepth: 4})
+	ctx := context.Background()
+
+	req := scaledRequest(t, 4)
+	req.Priority = "urgent"
+	_, err := cl.Submit(ctx, req)
+	if ae, ok := err.(*APIError); !ok || ae.HTTPStatus != 400 || ae.Code != ErrBadRequest {
+		t.Errorf("bad priority: %v, want 400 bad-request", err)
+	}
+
+	req = scaledRequest(t, 4)
+	req.Deadline = "tomorrow-ish"
+	_, err = cl.Submit(ctx, req)
+	if ae, ok := err.(*APIError); !ok || ae.HTTPStatus != 400 || ae.Code != ErrBadRequest {
+		t.Errorf("bad deadline: %v, want 400 bad-request", err)
+	}
+}
+
+// TestQueueFullCarriesRetryAfter pins the Retry-After hint on 429s, both as
+// a header and in the structured error body.
+func TestQueueFullCarriesRetryAfter(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	hook, started := blockingHook(release)
+	srv, cl := newTestServer(t, Options{Workers: 1, QueueDepth: 1})
+	srv.runHook = hook
+	ctx := context.Background()
+
+	started.Add(1)
+	if _, err := cl.Submit(ctx, scaledRequest(t, 4)); err != nil {
+		t.Fatal(err)
+	}
+	started.Wait()
+	// The queued job runs when the deferred close releases the worker at
+	// teardown; account for its Done up front.
+	started.Add(1)
+	if _, err := cl.Submit(ctx, scaledRequest(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+
+	body, err := jsonBody(scaledRequest(t, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(cl.BaseURL+"/v1/jobs", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 429 {
+		t.Fatalf("saturated queue: HTTP %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got == "" || got == "0" {
+		t.Errorf("429 Retry-After header = %q, want a positive back-off", got)
+	}
+	var eb errorBody
+	if err := jsonDecode(resp.Body, &eb); err != nil {
+		t.Fatal(err)
+	}
+	if eb.Error == nil || eb.Error.Code != ErrQueueFull || eb.Error.RetryAfter <= 0 {
+		t.Errorf("429 body: %+v", eb.Error)
+	}
+}

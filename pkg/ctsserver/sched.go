@@ -1,27 +1,38 @@
 package ctsserver
 
 import (
+	"container/heap"
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
-// scheduler is the bounded job scheduler behind the API: a FIFO of
-// configurable depth drained by a fixed pool of workers.  Submissions beyond
-// the queue depth are rejected immediately (the handler turns that into a
-// 429), and draining stops intake while the workers finish everything
-// already accepted.  Admission is accounted logically (queuedLive): a queued
-// job canceled before it starts releases its slot immediately, even though
-// its dead entry stays in the FIFO until a worker pops and skips it.
+// scheduler is the bounded job scheduler behind the API: a priority queue of
+// configurable depth drained by a fixed pool of workers.  Dispatch order is
+// highest priority first, then earliest deadline (no deadline sorts last),
+// then submission order, so a high-priority job never waits behind a
+// lower-priority one once a worker frees.  Submissions beyond the queue
+// depth are rejected immediately (the handler turns that into a 429), and
+// draining stops intake while the workers finish everything already
+// accepted.  Admission is accounted logically (queuedLive): a queued job
+// canceled before it starts releases its slot immediately, even though its
+// dead entry stays in the heap until a worker pops and skips it.
 type scheduler struct {
 	workers int
 	depth   int
 	run     func(*job)
+	// expireQueued drives a popped job whose deadline has already passed to
+	// the expired terminal state; it reports whether it won that transition
+	// (a racing DELETE may have canceled the job first).
+	expireQueued func(*job) bool
 
 	mu         sync.Mutex
-	cond       *sync.Cond // signals workers when fifo grows or intake closes
-	fifo       []*job
-	queuedLive int // queued jobs that are not yet terminal
+	cond       *sync.Cond // signals workers when the heap grows or intake closes
+	queue      jobQueue
+	seq        int64 // submission order, the final dispatch tiebreak
+	queuedLive int   // queued jobs that are not yet terminal
+	byPriority [numPriorities]int
 	running    int
 	draining   bool
 
@@ -30,17 +41,56 @@ type scheduler struct {
 	completed atomic.Int64
 	failed    atomic.Int64
 	canceled  atomic.Int64
+	expired   atomic.Int64
 	rejected  atomic.Int64
 	cacheHits atomic.Int64
 }
 
+// jobQueue is the dispatch heap; less is the scheduling policy.
+type jobQueue []*job
+
+func (q jobQueue) Len() int { return len(q) }
+
+func (q jobQueue) Less(i, j int) bool {
+	a, b := q[i], q[j]
+	if ra, rb := a.priority.rank(), b.priority.rank(); ra != rb {
+		return ra > rb // higher priority dispatches first
+	}
+	// Within a priority class, earlier deadlines dispatch first; a job
+	// without a deadline yields to any job with one.
+	switch {
+	case a.deadline.IsZero() != b.deadline.IsZero():
+		return !a.deadline.IsZero()
+	case !a.deadline.IsZero() && !a.deadline.Equal(b.deadline):
+		return a.deadline.Before(b.deadline)
+	}
+	return a.seq < b.seq // FIFO within equal priority and deadline
+}
+
+func (q jobQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// Push implements heap.Interface.
+func (q *jobQueue) Push(x any) { *q = append(*q, x.(*job)) }
+
+// Pop implements heap.Interface.
+func (q *jobQueue) Pop() any {
+	old := *q
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return j
+}
+
 // newScheduler starts the worker pool; run executes one job and is expected
-// to drive it to a terminal state.
-func newScheduler(workers, depth int, run func(*job)) *scheduler {
+// to drive it to a terminal state, and expireQueued retires a job whose
+// deadline passed while it waited in the queue.
+func newScheduler(workers, depth int, run func(*job), expireQueued func(*job) bool) *scheduler {
 	s := &scheduler{
-		workers: workers,
-		depth:   depth,
-		run:     run,
+		workers:      workers,
+		depth:        depth,
+		run:          run,
+		expireQueued: expireQueued,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(workers)
@@ -54,16 +104,26 @@ func (s *scheduler) worker() {
 	defer s.wg.Done()
 	for {
 		s.mu.Lock()
-		for len(s.fifo) == 0 && !s.draining {
+		for len(s.queue) == 0 && !s.draining {
 			s.cond.Wait()
 		}
-		if len(s.fifo) == 0 {
+		if len(s.queue) == 0 {
 			s.mu.Unlock()
 			return
 		}
-		j := s.fifo[0]
-		s.fifo = s.fifo[1:]
+		j := heap.Pop(&s.queue).(*job)
 		s.mu.Unlock()
+		// A job whose deadline passed while it waited never starts: it goes
+		// terminal as expired instead of burning a worker on a result the
+		// client no longer wants.  The transition races a queued-cancel
+		// DELETE exactly like setRunning below; whichever side wins has
+		// already released (or now releases) the queue slot.
+		if !j.deadline.IsZero() && !time.Now().Before(j.deadline) {
+			if s.expireQueued(j) {
+				s.releaseQueued(j)
+			}
+			continue
+		}
 		// The queued→running transition is the arbiter against a racing
 		// queued→canceled DELETE: exactly one side wins under the job's own
 		// lock, and each decrements queuedLive exactly once (the losing
@@ -74,6 +134,7 @@ func (s *scheduler) worker() {
 		}
 		s.mu.Lock()
 		s.queuedLive--
+		s.byPriority[j.priority.rank()]--
 		s.running++
 		s.mu.Unlock()
 		s.run(j)
@@ -83,8 +144,9 @@ func (s *scheduler) worker() {
 	}
 }
 
-// enqueue admits a job to the FIFO.  It fails fast with an APIError when the
-// server is draining (503) or the queue is full (429).
+// enqueue admits a job to the dispatch queue.  It fails fast with an
+// APIError when the server is draining (503) or the queue is full (429, with
+// a Retry-After hint).
 func (s *scheduler) enqueue(j *job) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -94,22 +156,26 @@ func (s *scheduler) enqueue(j *job) error {
 	}
 	if s.queuedLive >= s.depth {
 		s.rejected.Add(1)
-		return &APIError{HTTPStatus: 429, Code: ErrQueueFull,
+		return &APIError{HTTPStatus: 429, Code: ErrQueueFull, RetryAfter: retryAfterSeconds,
 			Message: "job queue is full, retry later"}
 	}
-	s.fifo = append(s.fifo, j)
+	s.seq++
+	j.seq = s.seq
+	heap.Push(&s.queue, j)
 	s.queuedLive++
+	s.byPriority[j.priority.rank()]++
 	s.submitted.Add(1)
 	s.cond.Signal()
 	return nil
 }
 
 // releaseQueued returns the queue slot of a job that went terminal while
-// still queued (canceled before start), so its dead FIFO entry no longer
-// counts against admission.
-func (s *scheduler) releaseQueued() {
+// still queued (canceled or expired before start), so its dead queue entry
+// no longer counts against admission.
+func (s *scheduler) releaseQueued(j *job) {
 	s.mu.Lock()
 	s.queuedLive--
+	s.byPriority[j.priority.rank()]--
 	s.mu.Unlock()
 }
 
@@ -132,6 +198,8 @@ func (s *scheduler) note(state JobState, cacheHit bool) {
 		s.failed.Add(1)
 	case StateCanceled:
 		s.canceled.Add(1)
+	case StateExpired:
+		s.expired.Add(1)
 	}
 }
 
@@ -166,18 +234,25 @@ func (s *scheduler) drain(ctx context.Context, cancelAll func()) error {
 func (s *scheduler) stats() SchedulerStats {
 	s.mu.Lock()
 	queued, running, draining := s.queuedLive, s.running, s.draining
+	byPrio := map[Priority]int{
+		PriorityLow:    s.byPriority[PriorityLow.rank()],
+		PriorityNormal: s.byPriority[PriorityNormal.rank()],
+		PriorityHigh:   s.byPriority[PriorityHigh.rank()],
+	}
 	s.mu.Unlock()
 	return SchedulerStats{
-		Workers:    s.workers,
-		QueueDepth: s.depth,
-		Queued:     queued,
-		Running:    running,
-		Submitted:  s.submitted.Load(),
-		Completed:  s.completed.Load(),
-		Failed:     s.failed.Load(),
-		Canceled:   s.canceled.Load(),
-		Rejected:   s.rejected.Load(),
-		CacheHits:  s.cacheHits.Load(),
-		Draining:   draining,
+		Workers:          s.workers,
+		QueueDepth:       s.depth,
+		Queued:           queued,
+		QueuedByPriority: byPrio,
+		Running:          running,
+		Submitted:        s.submitted.Load(),
+		Completed:        s.completed.Load(),
+		Failed:           s.failed.Load(),
+		Canceled:         s.canceled.Load(),
+		Expired:          s.expired.Load(),
+		Rejected:         s.rejected.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		Draining:         draining,
 	}
 }

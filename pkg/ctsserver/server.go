@@ -16,6 +16,7 @@ import (
 	"repro/internal/spice"
 	"repro/internal/tech"
 	"repro/pkg/cts"
+	"repro/pkg/ctsserver/store"
 )
 
 // Options configures a Server.  The zero value is usable: default
@@ -35,8 +36,17 @@ type Options struct {
 	// API answers 429 beyond it (<= 0 selects 64).
 	QueueDepth int
 	// CacheBytes is the result-cache byte budget over the stored Result
-	// JSON; 0 selects 64 MiB and negative values disable caching.
+	// JSON; 0 selects 64 MiB and negative values disable the memory tier.
 	CacheBytes int64
+	// CacheDir, when non-empty, enables the disk tier of the result cache:
+	// results are written through to this directory and read back on memory
+	// misses, so the cache survives restarts (ctsd's -cache-dir).  The
+	// directory is created if missing.
+	CacheDir string
+	// CacheDiskBytes is the disk tier's byte budget over the compressed
+	// entries; 0 selects 1 GiB and negative values leave the tier
+	// unbounded.  Ignored without CacheDir.
+	CacheDiskBytes int64
 	// Parallelism is the intra-run merge fan-out of every job's flow
 	// (cts.WithParallelism); 0 selects GOMAXPROCS.
 	Parallelism int
@@ -100,6 +110,9 @@ func New(o Options) (*Server, error) {
 	if o.CacheBytes == 0 {
 		o.CacheBytes = 64 << 20
 	}
+	if o.CacheDiskBytes == 0 {
+		o.CacheDiskBytes = 1 << 30
+	}
 	if o.JobRetention <= 0 {
 		o.JobRetention = 4096
 	}
@@ -113,16 +126,24 @@ func New(o Options) (*Server, error) {
 	if _, err := rand.Read(prefix[:]); err != nil {
 		return nil, fmt.Errorf("ctsserver: seeding job ids: %w", err)
 	}
+	var disk *store.Store
+	if o.CacheDir != "" {
+		d, err := store.Open(o.CacheDir, o.CacheDiskBytes)
+		if err != nil {
+			return nil, err
+		}
+		disk = d
+	}
 	s := &Server{
 		opts:     o,
 		tech:     o.Tech,
 		library:  o.Library,
-		cache:    newResultCache(o.CacheBytes),
+		cache:    newResultCache(o.CacheBytes, disk),
 		metrics:  cts.NewMetricsObserver(),
 		jobs:     map[string]*job{},
 		idPrefix: hex.EncodeToString(prefix[:]),
 	}
-	s.sched = newScheduler(o.Workers, o.QueueDepth, s.execute)
+	s.sched = newScheduler(o.Workers, o.QueueDepth, s.execute, s.expireQueued)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -224,6 +245,21 @@ func (s *Server) finishJob(j *job, from, state JobState, cacheHit bool, result j
 	s.retire(j)
 }
 
+// expireQueued drives a job whose deadline passed while it waited in the
+// queue to the expired terminal state; the worker that popped it calls this
+// instead of running it.  It reports whether this call won the transition
+// (a racing DELETE may have canceled the job first, in which case the
+// cancel path already released the queue slot).
+func (s *Server) expireQueued(j *job) bool {
+	if !j.finish(StateQueued, StateExpired, false, nil,
+		fmt.Sprintf("deadline %s passed before the job started", rfc3339(j.deadline))) {
+		return false
+	}
+	s.sched.note(StateExpired, false)
+	s.retire(j)
+	return true
+}
+
 // cancelJob cancels a job in any non-terminal state: a still-queued job
 // becomes terminal in one atomic transition and releases its queue slot
 // immediately (the worker will skip its dead FIFO entry; a job the worker
@@ -233,7 +269,7 @@ func (s *Server) finishJob(j *job, from, state JobState, cacheHit bool, result j
 func (s *Server) cancelJob(j *job) {
 	if j.finish(StateQueued, StateCanceled, false, nil, "canceled before start") {
 		s.sched.note(StateCanceled, false)
-		s.sched.releaseQueued()
+		s.sched.releaseQueued(j)
 		s.retire(j)
 	}
 	if j.cancel != nil {
@@ -242,7 +278,9 @@ func (s *Server) cancelJob(j *job) {
 }
 
 // execute runs one job to completion on a scheduler worker; the worker has
-// already transitioned the job to running.
+// already transitioned the job to running.  A run that dies of its own
+// deadline (context.DeadlineExceeded from the job context) terminates as
+// expired; a DELETE mid-run terminates as canceled.
 func (s *Server) execute(j *job) {
 	res, err := s.runSynthesis(j)
 	switch {
@@ -254,6 +292,9 @@ func (s *Server) execute(j *job) {
 		}
 		s.cache.put(j.key, data)
 		s.finishJob(j, StateRunning, StateDone, false, data, "")
+	case errors.Is(err, context.DeadlineExceeded) && j.ctx.Err() == context.DeadlineExceeded:
+		s.finishJob(j, StateRunning, StateExpired, false, nil,
+			fmt.Sprintf("deadline %s passed mid-run", rfc3339(j.deadline)))
 	case errors.Is(err, context.Canceled):
 		s.finishJob(j, StateRunning, StateCanceled, false, nil, err.Error())
 	default:

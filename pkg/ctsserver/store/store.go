@@ -1,0 +1,486 @@
+// Package store is the disk-backed half of the ctsserver result cache: a
+// content-addressed store of synthesis results that survives process
+// restarts, layered under the in-memory LRU (write-through on job
+// completion, read-through on a memory miss).
+//
+// # On-disk layout
+//
+// A store owns one directory.  Each entry is a single gzip-compressed
+// cts.Result JSON file named after the SHA-256 of its cache key, with the
+// key itself recorded in the gzip header (Name field) so the directory is
+// self-describing.  Next to the entries sits manifest.json, a small index
+// mapping key → {file, bytes, atime} that carries the access order across
+// restarts.
+//
+// # Durability and corruption tolerance
+//
+// Every write — entry files and the manifest alike — goes to a temporary
+// file in the same directory, is synced, and is renamed into place, so a
+// crash at any point leaves either the old content or the new, never a torn
+// file; stray *.tmp files from a killed process are removed on Open.  A
+// missing or unreadable manifest is rebuilt by scanning the entry files
+// (recovering each key from its gzip header), and a corrupt entry — bad
+// gzip stream, bad CRC, a file the manifest does not explain — is deleted
+// and treated as a miss, never surfaced as an error.
+//
+// # Eviction
+//
+// The store enforces a byte budget over the compressed on-disk sizes.  When
+// a put pushes the total over budget, entries are evicted oldest-access
+// first, by the atime recorded in the manifest (atimes advance on Get and
+// Put through a monotonic logical clock, so same-nanosecond accesses still
+// order correctly).  A budget of zero or below disables the bound.
+//
+// Persisting the access order costs one compact, unsynced manifest rewrite
+// per recency change — O(entries) JSON.  That is deliberate: the store
+// fronts whole synthesis runs (seconds each), a disk hit is immediately
+// promoted into the memory tier so repeats never come back, and entries
+// already newest skip the write entirely.  If the store ever fronts a
+// hotter path, batch the atime flushes before reaching for anything
+// fancier.
+package store
+
+import (
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// entrySuffix names entry files; the prefix is the hex SHA-256 of the key.
+const entrySuffix = ".json.gz"
+
+// manifestName is the index file next to the entries.
+const manifestName = "manifest.json"
+
+// manifest is the serialized form of the index: one record per entry,
+// keyed by the cache key.
+type manifest struct {
+	Version int                      `json:"version"`
+	Entries map[string]manifestEntry `json:"entries"`
+}
+
+// manifestEntry records where an entry lives and when it was last touched.
+type manifestEntry struct {
+	// File is the entry's file name within the store directory.
+	File string `json:"file"`
+	// Bytes is the compressed on-disk size charged against the budget.
+	Bytes int64 `json:"bytes"`
+	// ATime is the last access in Unix nanoseconds; eviction removes the
+	// oldest first.
+	ATime int64 `json:"atime"`
+}
+
+// Stats is a point-in-time snapshot of the store counters, embedded in the
+// service's /v1/stats response.  Counters reset on Open; Entries and Bytes
+// describe the surviving on-disk state.
+type Stats struct {
+	// Dir is the store directory.
+	Dir string `json:"dir"`
+	// Entries is the number of stored results.
+	Entries int `json:"entries"`
+	// Bytes is the compressed on-disk total charged against MaxBytes.
+	Bytes int64 `json:"bytes"`
+	// MaxBytes is the eviction budget; 0 or below means unbounded.
+	MaxBytes int64 `json:"maxBytes"`
+	// Hits counts Gets served from disk since Open.
+	Hits int64 `json:"hits"`
+	// Misses counts Gets that found no (readable) entry since Open.
+	Misses int64 `json:"misses"`
+	// Evictions counts entries removed by the byte budget since Open.
+	Evictions int64 `json:"evictions"`
+	// Corrupt counts entries deleted because they could not be read back
+	// (bad gzip data, bad CRC, unreadable file) since Open.
+	Corrupt int64 `json:"corrupt"`
+}
+
+// Store is a disk-backed, content-addressed result store.  All methods are
+// safe for concurrent use.  The zero value is not usable; construct with
+// Open.
+type Store struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]manifestEntry
+	bytes   int64
+	clock   int64 // last issued atime, for the monotonic logical clock
+
+	hits      int64
+	misses    int64
+	evictions int64
+	corrupt   int64
+}
+
+// Open creates or reopens a store in dir (created if missing, permissions
+// 0o755).  maxBytes bounds the compressed on-disk total; 0 or below leaves
+// the store unbounded.  Open removes stray temporary files from interrupted
+// writes, reconciles the manifest against the entry files actually present
+// (adopting orphans by reading their gzip headers, dropping records whose
+// files are gone, deleting undecodable files), and evicts down to the
+// budget if the surviving set exceeds it.
+func Open(dir string, maxBytes int64) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	s := &Store{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  map[string]manifestEntry{},
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.evictLocked()
+	s.mu.Unlock()
+	return s, nil
+}
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// recover loads the manifest and reconciles it with the directory contents.
+func (s *Store) recover() error {
+	var m manifest
+	if data, err := os.ReadFile(filepath.Join(s.dir, manifestName)); err == nil {
+		// A corrupt manifest is not fatal: the entries are self-describing,
+		// so the scan below rebuilds the index (losing only access order).
+		_ = json.Unmarshal(data, &m)
+	}
+	if m.Entries == nil {
+		m.Entries = map[string]manifestEntry{}
+	}
+
+	names, err := os.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("store: reading %s: %w", s.dir, err)
+	}
+	present := map[string]bool{}
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case de.IsDir() || name == manifestName:
+			continue
+		case strings.HasSuffix(name, ".tmp"):
+			// An interrupted write: the entry was never renamed into place,
+			// so dropping the temp file restores the pre-write state (the
+			// crash-between-write-and-rename case resolves as a clean miss).
+			_ = os.Remove(filepath.Join(s.dir, name))
+			continue
+		case !strings.HasSuffix(name, entrySuffix):
+			continue
+		}
+		present[name] = true
+	}
+
+	// Keep manifest records whose files survived; their atimes preserve the
+	// LRU order across the restart.
+	for key, e := range m.Entries {
+		if !present[e.File] || e.File != entryFile(key) {
+			continue
+		}
+		s.entries[key] = e
+		s.bytes += e.Bytes
+		if e.ATime > s.clock {
+			s.clock = e.ATime
+		}
+		delete(present, e.File)
+	}
+	// Adopt entry files the manifest does not know (a crash after the entry
+	// rename but before the manifest write): the key comes from the gzip
+	// header, the atime from the file mtime.  Undecodable files are deleted.
+	for name := range present {
+		path := filepath.Join(s.dir, name)
+		key, err := readKey(path)
+		if err != nil || entryFile(key) != name {
+			s.corrupt++
+			_ = os.Remove(path)
+			continue
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			continue
+		}
+		s.entries[key] = manifestEntry{File: name, Bytes: fi.Size(), ATime: fi.ModTime().UnixNano()}
+		s.bytes += fi.Size()
+		if at := fi.ModTime().UnixNano(); at > s.clock {
+			s.clock = at
+		}
+	}
+	s.writeManifestLocked(true)
+	return nil
+}
+
+// entryFile derives an entry's file name from its key.
+func entryFile(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:]) + entrySuffix
+}
+
+// readKey recovers the cache key recorded in an entry file's gzip header.
+func readKey(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return "", err
+	}
+	defer zr.Close()
+	if zr.Name == "" {
+		return "", fmt.Errorf("store: %s carries no key", path)
+	}
+	return zr.Name, nil
+}
+
+// now advances the logical access clock: wall time, bumped to stay strictly
+// monotonic so two accesses in the same nanosecond still order.
+func (s *Store) now() int64 {
+	t := time.Now().UnixNano()
+	if t <= s.clock {
+		t = s.clock + 1
+	}
+	s.clock = t
+	return t
+}
+
+// Get returns the stored bytes for key and refreshes its access time.  A
+// missing entry, and equally an entry that fails to read back (deleted
+// concurrently, truncated, bad gzip data), reports ok == false; corruption
+// is resolved by deleting the entry, never by returning an error.
+func (s *Store) Get(key string) (data []byte, ok bool) {
+	s.mu.Lock()
+	e, found := s.entries[key]
+	s.mu.Unlock()
+	if !found {
+		s.mu.Lock()
+		s.misses++
+		s.mu.Unlock()
+		return nil, false
+	}
+	data, err := readEntry(filepath.Join(s.dir, e.File))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		// The entry is unreadable: drop it (file and record) and miss.  The
+		// ATime comparison distinguishes the snapshotted generation from a
+		// racing re-Put of the same key (whose file name is identical, being
+		// key-derived): an entry refreshed or rewritten since the snapshot
+		// is left alone rather than deleted as corrupt.
+		if cur, still := s.entries[key]; still && cur.File == e.File && cur.ATime == e.ATime {
+			delete(s.entries, key)
+			s.bytes -= cur.Bytes
+			s.corrupt++
+			_ = os.Remove(filepath.Join(s.dir, e.File))
+			s.writeManifestLocked(true)
+		}
+		s.misses++
+		return nil, false
+	}
+	if cur, still := s.entries[key]; still && cur.ATime != s.clock {
+		// Refresh recency; an entry already the newest needs no update.  The
+		// atime-only refresh is persisted unsynced: losing it in a crash
+		// only costs eviction-order fidelity, never a result.
+		cur.ATime = s.now()
+		s.entries[key] = cur
+		s.writeManifestLocked(false)
+	}
+	s.hits++
+	return data, true
+}
+
+// readEntry reads and decompresses one entry file; the gzip CRC check makes
+// torn or bit-rotted content surface as an error.
+func readEntry(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(zr)
+	if err != nil {
+		return nil, err
+	}
+	if err := zr.Close(); err != nil {
+		return nil, err
+	}
+	return data, nil
+}
+
+// Put stores data under key, crash-safely (temp file, sync, rename), then
+// evicts oldest-access entries until the store fits its budget again.
+// Storing an existing key only refreshes its access time: keys are
+// content-addressed, so the bytes are already right.  Write failures (disk
+// full, permissions) drop the entry silently — the store is a cache, and a
+// failed write is indistinguishable from an eviction.
+func (s *Store) Put(key string, data []byte) {
+	s.mu.Lock()
+	if e, ok := s.entries[key]; ok {
+		e.ATime = s.now()
+		s.entries[key] = e
+		s.writeManifestLocked(false)
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+
+	// Compress and land the entry outside the lock; concurrent Puts of the
+	// same key write identical content, so the last rename winning is fine.
+	name := entryFile(key)
+	size, err := writeEntry(filepath.Join(s.dir, name), key, data)
+	if err != nil {
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.maxBytes > 0 && size > s.maxBytes {
+		// An entry larger than the whole budget would evict every other
+		// result just to be evicted next; refuse it, as the memory LRU does.
+		_ = os.Remove(filepath.Join(s.dir, name))
+		return
+	}
+	if _, ok := s.entries[key]; !ok {
+		s.entries[key] = manifestEntry{File: name, Bytes: size, ATime: s.now()}
+		s.bytes += size
+	}
+	s.evictLocked()
+	s.writeManifestLocked(true)
+}
+
+// writeEntry writes one gzip entry via a temporary file in the same
+// directory and renames it into place, returning the compressed size.
+func writeEntry(path, key string, data []byte) (int64, error) {
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return 0, err
+	}
+	tmp := f.Name()
+	zw := gzip.NewWriter(f)
+	zw.Name = key
+	_, werr := zw.Write(data)
+	if cerr := zw.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return 0, werr
+	}
+	fi, err := os.Stat(tmp)
+	if err != nil {
+		_ = os.Remove(tmp)
+		return 0, err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// evictLocked removes oldest-access entries until the budget holds.  The
+// access order is computed once per call (O(n log n)), so an eviction
+// burst — e.g. reopening with a smaller budget — stays linear in the
+// number of victims instead of rescanning the map per eviction.  Callers
+// must hold s.mu.
+func (s *Store) evictLocked() {
+	if s.maxBytes <= 0 || s.bytes <= s.maxBytes {
+		return
+	}
+	type victim struct {
+		key string
+		e   manifestEntry
+	}
+	byAge := make([]victim, 0, len(s.entries))
+	for key, e := range s.entries {
+		byAge = append(byAge, victim{key, e})
+	}
+	sort.Slice(byAge, func(i, j int) bool { return byAge[i].e.ATime < byAge[j].e.ATime })
+	for _, v := range byAge {
+		if s.bytes <= s.maxBytes {
+			break
+		}
+		delete(s.entries, v.key)
+		s.bytes -= v.e.Bytes
+		s.evictions++
+		_ = os.Remove(filepath.Join(s.dir, v.e.File))
+	}
+}
+
+// writeManifestLocked persists the index crash-safely (temp + rename; the
+// rename keeps the file atomic even unsynced).  sync additionally fsyncs
+// before the rename — structural changes (put, evict, recovery) pay for
+// durability, atime-only refreshes skip it since losing one in a crash only
+// costs eviction-order fidelity.  Callers must hold s.mu.  Failures are
+// swallowed: the manifest is an optimization (access order and a fast
+// index), and recover rebuilds it from the entries.
+func (s *Store) writeManifestLocked(sync bool) {
+	m := manifest{Version: 1, Entries: s.entries}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	path := filepath.Join(s.dir, manifestName)
+	f, err := os.CreateTemp(s.dir, manifestName+".*.tmp")
+	if err != nil {
+		return
+	}
+	tmp := f.Name()
+	_, werr := f.Write(data)
+	if werr == nil && sync {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp, path)
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+	}
+}
+
+// Len returns the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Dir:       s.dir,
+		Entries:   len(s.entries),
+		Bytes:     s.bytes,
+		MaxBytes:  s.maxBytes,
+		Hits:      s.hits,
+		Misses:    s.misses,
+		Evictions: s.evictions,
+		Corrupt:   s.corrupt,
+	}
+}

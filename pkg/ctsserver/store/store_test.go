@@ -1,0 +1,276 @@
+package store
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// put stores a payload and fails the test if it does not read back.
+func put(t *testing.T, s *Store, key string, data []byte) {
+	t.Helper()
+	s.Put(key, data)
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, data) {
+		t.Fatalf("Put(%q) did not read back (ok=%v)", key, ok)
+	}
+}
+
+func TestRoundTripAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte(`{"levels": 3, "stats": {"buffers": 7}}`)
+	put(t, s, "k-abc+verify", payload)
+
+	// A fresh store over the same directory serves the entry from disk.
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get("k-abc+verify")
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("reopened store: ok=%v data=%q", ok, got)
+	}
+	st := s2.Stats()
+	if st.Entries != 1 || st.Hits != 1 || st.Misses != 0 {
+		t.Errorf("reopened stats: %+v", st)
+	}
+	if _, ok := s2.Get("never-stored"); ok {
+		t.Error("unknown key reported a hit")
+	}
+	if st := s2.Stats(); st.Misses != 1 {
+		t.Errorf("miss not counted: %+v", st)
+	}
+}
+
+// TestCrashSafety simulates a process killed between the temp-file write
+// and the rename: the leftover *.tmp file must be cleaned up on Open and
+// the half-written entry must resolve as a clean miss, while complete
+// entries survive untouched.
+func TestCrashSafety(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "survivor", []byte(`{"ok":true}`))
+
+	// A torn temp write: partial gzip bytes under the name CreateTemp would
+	// have used, never renamed into place.
+	tmp := filepath.Join(dir, entryFile("victim")+".123.tmp")
+	if err := os.WriteFile(tmp, []byte("\x1f\x8b\x08 torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Error("stray .tmp file survived Open")
+	}
+	if _, ok := s2.Get("victim"); ok {
+		t.Error("half-written entry served a hit, want clean miss")
+	}
+	if data, ok := s2.Get("survivor"); !ok || string(data) != `{"ok":true}` {
+		t.Errorf("complete entry lost after crash recovery: ok=%v data=%q", ok, data)
+	}
+}
+
+// TestEvictionOrder pins LRU-by-atime eviction under the byte budget: the
+// least recently *accessed* entry goes first, and a Get refreshes recency.
+func TestEvictionOrder(t *testing.T) {
+	dir := t.TempDir()
+	// Budget for roughly two compressed entries; incompressible payloads
+	// keep the on-disk sizes predictable.
+	payload := func(i int) []byte {
+		b := make([]byte, 4096)
+		for j := range b {
+			b[j] = byte((i*31 + j*17) % 251)
+		}
+		return b
+	}
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("a", payload(1))
+	sizeA := s.Stats().Bytes
+	s.maxBytes = 2*sizeA + sizeA/2 // fits two entries, not three
+
+	s.Put("b", payload(2))
+	if _, ok := s.Get("a"); !ok { // refresh a: b is now oldest
+		t.Fatal("a missing before overflow")
+	}
+	s.Put("c", payload(3))
+
+	if _, ok := s.Get("b"); ok {
+		t.Error("b survived, want evicted as oldest-accessed")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("%s evicted, want kept", k)
+		}
+	}
+	if st := s.Stats(); st.Evictions != 1 || st.Entries != 2 {
+		t.Errorf("stats after eviction: %+v", st)
+	}
+
+	// The access order survives a reopen: a was touched after c was
+	// written... actually c is newest; touch a once more so the manifest
+	// marks c as oldest, then overflow after reopening.
+	if _, ok := s.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	s2, err := Open(dir, s.maxBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Put("d", payload(4))
+	if _, ok := s2.Get("c"); ok {
+		t.Error("c survived post-reopen overflow, want evicted by persisted atime order")
+	}
+	if _, ok := s2.Get("a"); !ok {
+		t.Error("a evicted post-reopen, want kept (freshest persisted atime)")
+	}
+}
+
+// TestCorruptEntryIsDeletedAndMisses pins corruption tolerance: a damaged
+// entry file is deleted on the failed read and reported as a miss, never an
+// error.
+func TestCorruptEntryIsDeletedAndMisses(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	put(t, s, "good", []byte(`{"fine":1}`))
+	s.Put("bad", []byte(`{"doomed":1}`))
+
+	// Flip bytes in the middle of bad's file so the gzip CRC fails.
+	path := filepath.Join(dir, entryFile("bad"))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := len(data) / 2; i < len(data)/2+4 && i < len(data); i++ {
+		data[i] ^= 0xff
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, ok := s.Get("bad"); ok {
+		t.Fatal("corrupt entry served a hit")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry file survived the failed read")
+	}
+	st := s.Stats()
+	if st.Corrupt != 1 || st.Entries != 1 {
+		t.Errorf("stats after corruption: %+v", st)
+	}
+	// The second lookup is an ordinary miss (entry gone), and the intact
+	// neighbour still reads.
+	if _, ok := s.Get("bad"); ok {
+		t.Error("deleted corrupt entry resurrected")
+	}
+	if _, ok := s.Get("good"); !ok {
+		t.Error("intact entry lost alongside the corrupt one")
+	}
+}
+
+// TestManifestRebuild pins the self-describing layout: with the manifest
+// deleted (or replaced by junk), Open recovers every entry by reading the
+// keys back from the gzip headers; undecodable entry files are deleted.
+func TestManifestRebuild(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []string{"alpha", "beta+verify", "gamma"}
+	for i, k := range keys {
+		put(t, s, k, []byte(fmt.Sprintf(`{"i":%d}`, i)))
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("not json{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// An entry-shaped file that is not gzip at all must be swept, and an
+	// entry whose header key does not match its file name (a renamed or
+	// planted file) must not be adopted under the forged name.
+	if err := os.WriteFile(filepath.Join(dir, strings.Repeat("ab", 32)+entrySuffix), []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var forged bytes.Buffer
+	zw := gzip.NewWriter(&forged)
+	zw.Name = "some-other-key"
+	zw.Write([]byte(`{}`))
+	zw.Close()
+	forgedPath := filepath.Join(dir, strings.Repeat("cd", 32)+entrySuffix)
+	if err := os.WriteFile(forgedPath, forged.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range keys {
+		data, ok := s2.Get(k)
+		if !ok || string(data) != fmt.Sprintf(`{"i":%d}`, i) {
+			t.Errorf("key %q after rebuild: ok=%v data=%q", k, ok, data)
+		}
+	}
+	if got := s2.Len(); got != len(keys) {
+		t.Errorf("rebuilt store has %d entries, want %d", got, len(keys))
+	}
+	if _, ok := s2.Get("some-other-key"); ok {
+		t.Error("forged entry adopted under its header key")
+	}
+	if _, err := os.Stat(forgedPath); !os.IsNotExist(err) {
+		t.Error("forged entry file survived the rebuild")
+	}
+}
+
+// TestOversizedAndConcurrent pins that an entry larger than the whole
+// budget is refused instead of evicting everything else, and exercises
+// concurrent access; run with -race.
+func TestOversizedAndConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := make([]byte, 2<<20)
+	rand.New(rand.NewSource(1)).Read(huge) // incompressible beyond the budget
+	s.Put("huge", huge)
+	if _, ok := s.Get("huge"); ok {
+		t.Error("entry over the whole budget was stored")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := fmt.Sprintf("k-%d", (g+i)%10)
+				s.Put(k, []byte(fmt.Sprintf(`{"k":%q}`, k)))
+				s.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Entries != 10 || st.Corrupt != 0 {
+		t.Errorf("stats after concurrent traffic: %+v", st)
+	}
+}

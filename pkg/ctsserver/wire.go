@@ -7,16 +7,22 @@ import (
 
 	"repro/internal/geom"
 	"repro/pkg/cts"
+	"repro/pkg/ctsserver/store"
 )
 
 // Sink is the wire form of one clock sink: a name, a position in
 // micrometres and an optional load capacitance in fF (zero selects the
 // technology default).
 type Sink struct {
-	Name string  `json:"name,omitempty"`
-	X    float64 `json:"x"`
-	Y    float64 `json:"y"`
-	Cap  float64 `json:"cap,omitempty"`
+	// Name identifies the sink; empty names are auto-generated ("sink_i").
+	Name string `json:"name,omitempty"`
+	// X and Y are the sink position in micrometres.
+	X float64 `json:"x"`
+	// Y is the position's second coordinate (see X).
+	Y float64 `json:"y"`
+	// Cap is the load capacitance in fF; zero selects the technology
+	// default.
+	Cap float64 `json:"cap,omitempty"`
 }
 
 // CTS converts the wire sink to the pipeline's sink type.
@@ -42,6 +48,54 @@ func SinksFromCTS(sinks []cts.Sink) []Sink {
 	return out
 }
 
+// Priority is a job's scheduling class.  The dispatcher always pops the
+// highest class with queued work, so a high-priority job never waits behind
+// a lower-priority one once a worker frees; within a class, earlier
+// deadlines dispatch first and equal deadlines dispatch in submission
+// order.  The zero value ("", like an absent wire field) means
+// PriorityNormal.
+type Priority string
+
+const (
+	// PriorityLow yields to everything else: batch and backfill work.
+	PriorityLow Priority = "low"
+	// PriorityNormal is the default class, used when the wire field is
+	// absent or empty.
+	PriorityNormal Priority = "normal"
+	// PriorityHigh preempts the queue order (never a running job): the next
+	// free worker takes the oldest high-priority job first.
+	PriorityHigh Priority = "high"
+)
+
+// numPriorities is the number of scheduling classes, sizing the per-class
+// queue-depth counters.
+const numPriorities = 3
+
+// rank orders priorities for dispatch; higher dispatches first.
+func (p Priority) rank() int {
+	switch p {
+	case PriorityLow:
+		return 0
+	case PriorityHigh:
+		return 2
+	default: // "" and "normal"
+		return 1
+	}
+}
+
+// ParsePriority parses a wire priority: "low", "normal", "high", or empty
+// (which selects PriorityNormal, the zero-value behavior of the wire
+// field).
+func ParsePriority(s string) (Priority, error) {
+	switch Priority(s) {
+	case PriorityLow, PriorityNormal, PriorityHigh:
+		return Priority(s), nil
+	case "":
+		return PriorityNormal, nil
+	}
+	return PriorityNormal, fmt.Errorf("ctsserver: unknown priority %q (want low, normal, high)", s)
+}
+
 // JobRequest is the body of POST /v1/jobs: a sink set plus the synthesis
 // parameters.  A nil Settings selects the flow defaults (the zero Settings
 // defaults field by field, exactly as the cts.With… options do).  Verify
@@ -49,47 +103,90 @@ func SinksFromCTS(sinks []cts.Sink) []Sink {
 type JobRequest struct {
 	// Name labels the job in status reports and observer events (e.g. the
 	// benchmark name); it does not participate in the result-cache key.
-	Name     string        `json:"name,omitempty"`
-	Sinks    []Sink        `json:"sinks"`
+	Name string `json:"name,omitempty"`
+	// Sinks is the clock sink set to synthesize; required, validated by
+	// cts.ValidateSinks before any work runs.
+	Sinks []Sink `json:"sinks"`
+	// Settings are the synthesis parameters; nil (or any zero field)
+	// defaults as the cts.With… options do.
 	Settings *cts.Settings `json:"settings,omitempty"`
-	Verify   bool          `json:"verify,omitempty"`
+	// Verify enables the transient-simulation verify stage; verified runs
+	// cache separately from unverified ones.
+	Verify bool `json:"verify,omitempty"`
+	// Priority selects the scheduling class; empty means normal.  It does
+	// not participate in the result-cache key: a cached result serves every
+	// priority.
+	Priority Priority `json:"priority,omitempty"`
+	// Deadline, when non-empty, is an RFC 3339 timestamp after which the
+	// result is worthless to the client.  A job whose deadline passes before
+	// it starts terminates as StateExpired without running synthesis (a
+	// deadline already in the past expires the job at submission); a running
+	// job is canceled through its context when the deadline passes and also
+	// terminates as StateExpired.  The deadline does not participate in the
+	// result-cache key, and a cache hit is served regardless of it.
+	Deadline string `json:"deadline,omitempty"`
 }
 
 // JobState is the lifecycle state of a job.
 type JobState string
 
 const (
-	StateQueued   JobState = "queued"
-	StateRunning  JobState = "running"
-	StateDone     JobState = "done"
-	StateFailed   JobState = "failed"
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning: synthesis in progress on a worker.
+	StateRunning JobState = "running"
+	// StateDone: finished; JobStatus.Result carries the cts.Result JSON.
+	StateDone JobState = "done"
+	// StateFailed: synthesis returned an error (JobStatus.Error).
+	StateFailed JobState = "failed"
+	// StateCanceled: ended by DELETE (or a timed-out drain) before
+	// completing.
 	StateCanceled JobState = "canceled"
+	// StateExpired: the job's deadline passed before it produced a result —
+	// either before it started (no synthesis ran) or mid-run (the run was
+	// canceled through its context).  Expired jobs are retryable: resubmit
+	// the identical request with a later (or no) deadline; nothing about
+	// the expiry is remembered against the request's cache key.
+	StateExpired JobState = "expired"
 )
 
 // Terminal reports whether the state is final.
 func (s JobState) Terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
+	return s == StateDone || s == StateFailed || s == StateCanceled || s == StateExpired
 }
 
 // JobStatus is the wire form of a job: returned by POST /v1/jobs and
 // GET /v1/jobs/{id}, and carried by the terminal "done" event of the SSE
 // stream.  Result holds the cts.Result JSON once the job is done.
 type JobStatus struct {
-	ID    string   `json:"id"`
-	Name  string   `json:"name,omitempty"`
+	// ID is the server-minted job identity for GET/DELETE/events calls.
+	ID string `json:"id"`
+	// Name echoes the request's label.
+	Name string `json:"name,omitempty"`
+	// State is the lifecycle state; Terminal states never change again.
 	State JobState `json:"state"`
+	// Priority echoes the request's scheduling class (always concrete on
+	// the wire: an absent request field reports as "normal").
+	Priority Priority `json:"priority"`
+	// Deadline echoes the request's deadline as RFC 3339, empty when none
+	// was set.
+	Deadline string `json:"deadline,omitempty"`
 	// Key is the content-addressed identity of the request
 	// (cts.CanonicalKey over the effective settings and sinks).
 	Key string `json:"key"`
 	// CacheHit reports that the result was served from the result cache
 	// without running synthesis.
-	CacheHit bool   `json:"cacheHit"`
-	Sinks    int    `json:"sinks"`
-	Error    string `json:"error,omitempty"`
+	CacheHit bool `json:"cacheHit"`
+	// Sinks is the request's sink count.
+	Sinks int `json:"sinks"`
+	// Error describes why the job failed, was canceled or expired.
+	Error string `json:"error,omitempty"`
 	// Created/Started/Finished are RFC 3339 timestamps; Started and
 	// Finished are empty while the job has not reached them.
-	Created  string `json:"created,omitempty"`
-	Started  string `json:"started,omitempty"`
+	Created string `json:"created,omitempty"`
+	// Started is when a worker picked the job up (empty until then).
+	Started string `json:"started,omitempty"`
+	// Finished is when the job went terminal (empty until then).
 	Finished string `json:"finished,omitempty"`
 	// Result is the cts.Result JSON of a done job.
 	Result json.RawMessage `json:"result,omitempty"`
@@ -97,12 +194,25 @@ type JobStatus struct {
 
 // Error codes used by the API beyond the cts.SinkErr validation codes.
 const (
+	// ErrBadRequest: undecodable body, oversized sink set, or a malformed
+	// priority/deadline field.
 	ErrBadRequest = "bad-request"
+	// ErrBadSetting: the settings failed cts.New validation.
 	ErrBadSetting = "bad-settings"
-	ErrNotFound   = "not-found"
-	ErrQueueFull  = "queue-full"
-	ErrDraining   = "draining"
+	// ErrNotFound: the job id is unknown (never assigned, or already
+	// forgotten by retention).
+	ErrNotFound = "not-found"
+	// ErrQueueFull: admission would exceed the queue depth; the 429
+	// response carries a Retry-After header.
+	ErrQueueFull = "queue-full"
+	// ErrDraining: the server is shutting down and rejects new work.
+	ErrDraining = "draining"
 )
+
+// retryAfterSeconds is the Retry-After hint on 429 queue-full responses: a
+// queue this saturated typically frees a slot within a couple of job
+// completions, so clients are told to back off briefly rather than hammer.
+const retryAfterSeconds = 1
 
 // APIError is the structured error body of every non-2xx response, wrapped
 // as {"error": {...}}.  Sink points at the offending sink for validation
@@ -110,10 +220,18 @@ const (
 // directly.
 type APIError struct {
 	// HTTPStatus is the response status; not serialized.
-	HTTPStatus int    `json:"-"`
-	Code       string `json:"code"`
-	Message    string `json:"message"`
-	Sink       *int   `json:"sink,omitempty"`
+	HTTPStatus int `json:"-"`
+	// Code is the machine-readable error class (the Err… constants, or a
+	// cts.SinkErr… validation code).
+	Code string `json:"code"`
+	// Message is the human-readable description.
+	Message string `json:"message"`
+	// Sink is the index of the offending sink for validation errors.
+	Sink *int `json:"sink,omitempty"`
+	// RetryAfter, when positive, is the server's back-off hint in seconds;
+	// it is also sent as the response's Retry-After header (429 queue-full
+	// carries it).
+	RetryAfter int `json:"retryAfter,omitempty"`
 }
 
 // Error implements the error interface.
@@ -128,42 +246,77 @@ type errorBody struct {
 
 // SchedulerStats summarizes the job scheduler for GET /v1/stats.
 type SchedulerStats struct {
-	Workers    int   `json:"workers"`
-	QueueDepth int   `json:"queueDepth"`
-	Queued     int   `json:"queued"`
-	Running    int   `json:"running"`
-	Submitted  int64 `json:"submitted"`
-	Completed  int64 `json:"completed"`
-	Failed     int64 `json:"failed"`
-	Canceled   int64 `json:"canceled"`
-	Rejected   int64 `json:"rejected"`
-	CacheHits  int64 `json:"cacheHits"`
-	Draining   bool  `json:"draining"`
+	// Workers is the pool size; QueueDepth the admission bound.
+	Workers int `json:"workers"`
+	// QueueDepth is the accepted-but-not-running bound (429 beyond it).
+	QueueDepth int `json:"queueDepth"`
+	// Queued is the live queued-job count; QueuedByPriority splits it per
+	// scheduling class (keys "low", "normal", "high").
+	Queued int `json:"queued"`
+	// QueuedByPriority is Queued split per scheduling class.
+	QueuedByPriority map[Priority]int `json:"queuedByPriority"`
+	// Running is the number of jobs currently on a worker.
+	Running int `json:"running"`
+	// Submitted counts every admitted job (including born-terminal ones);
+	// each eventually lands in exactly one of Completed, Failed, Canceled
+	// or Expired.
+	Submitted int64 `json:"submitted"`
+	// Completed counts jobs that finished with a result.
+	Completed int64 `json:"completed"`
+	// Failed counts jobs whose synthesis returned an error.
+	Failed int64 `json:"failed"`
+	// Canceled counts jobs ended by DELETE or a timed-out drain.
+	Canceled int64 `json:"canceled"`
+	// Expired counts jobs terminated by their deadline.
+	Expired int64 `json:"expired"`
+	// Rejected counts submissions bounced at admission (queue full); they
+	// are not part of Submitted.
+	Rejected int64 `json:"rejected"`
+	// CacheHits counts submissions served without synthesis (memory- or
+	// disk-served).
+	CacheHits int64 `json:"cacheHits"`
+	// Draining reports that intake has stopped for shutdown.
+	Draining bool `json:"draining"`
 }
 
-// CacheStats summarizes the result cache for GET /v1/stats.
+// CacheStats summarizes the result cache for GET /v1/stats: the in-memory
+// LRU tier, plus the disk tier when one is configured.
 type CacheStats struct {
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	MaxBytes  int64 `json:"maxBytes"`
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
+	// Entries/Bytes/MaxBytes describe the in-memory tier's occupancy.
+	Entries int `json:"entries"`
+	// Bytes is the memory tier's current total over stored Result JSON.
+	Bytes int64 `json:"bytes"`
+	// MaxBytes is the memory tier's byte budget (<= 0: tier disabled).
+	MaxBytes int64 `json:"maxBytes"`
+	// Hits counts lookups answered by either tier; the disk tier's own
+	// counters (Disk.Hits) isolate the ones the memory tier missed.
+	Hits int64 `json:"hits"`
+	// Misses counts lookups neither tier could answer.
+	Misses int64 `json:"misses"`
+	// Evictions counts memory-tier LRU evictions.
 	Evictions int64 `json:"evictions"`
+	// Disk is the disk tier's snapshot; nil when the server runs without a
+	// cache directory.
+	Disk *store.Stats `json:"disk,omitempty"`
 }
 
 // Stats is the body of GET /v1/stats: scheduler and cache counters plus the
 // aggregated per-stage synthesis metrics (the same cts.MetricsSnapshot the
 // CLI's -metrics flag renders).
 type Stats struct {
-	Scheduler SchedulerStats      `json:"scheduler"`
-	Cache     CacheStats          `json:"cache"`
-	Metrics   cts.MetricsSnapshot `json:"metrics"`
+	// Scheduler is the queue/worker/terminal-state summary.
+	Scheduler SchedulerStats `json:"scheduler"`
+	// Cache is the two-tier result-cache summary.
+	Cache CacheStats `json:"cache"`
+	// Metrics aggregates every job's observer stream per stage.
+	Metrics cts.MetricsSnapshot `json:"metrics"`
 }
 
 // Health is the body of GET /healthz.
 type Health struct {
-	Status   string `json:"status"` // "ok" or "draining"
-	Draining bool   `json:"draining"`
+	Status string `json:"status"` // "ok" or "draining"
+	// Draining mirrors Status for programmatic checks.
+	Draining bool `json:"draining"`
 }
 
 // SSE event types on GET /v1/jobs/{id}/events.

@@ -1,0 +1,50 @@
+# Developer entry points.  Everything here works on a fresh clone with
+# nothing but the Go toolchain: ctslint is part of the module (see
+# ARCHITECTURE.md, "Static analysis layer"), so `make lint` needs no
+# network and no installed tools.
+
+GO ?= go
+BIN := bin
+
+.PHONY: all build test race lint vet bench fmt clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+# The full suite; includes the root ctslint gate (ctslint_test.go), the
+# docs gates, and the golden determinism tests.
+test:
+	$(GO) test ./...
+
+# The race job CI runs: the whole tree under the detector, -short to trim
+# the scaling tests and skip the module-wide ctslint gate (the lint target
+# covers it; it gains nothing from -race).
+race:
+	$(GO) test -race -short ./...
+
+# The repository's own analyzer suite, standalone.
+lint:
+	$(GO) run ./cmd/ctslint ./...
+
+# go vet with ctslint attached as its -vettool, plus vet's built-ins —
+# incremental and build-cached, the editor-integration path.
+vet: $(BIN)/ctslint
+	$(GO) vet ./...
+	$(GO) vet -vettool=$(BIN)/ctslint ./...
+
+$(BIN)/ctslint: FORCE
+	$(GO) build -o $(BIN)/ctslint ./cmd/ctslint
+
+bench:
+	$(GO) test -short -run '^$$' -bench . -benchtime 1x ./...
+
+fmt:
+	gofmt -w $$(git ls-files '*.go' | grep -v /testdata/)
+
+clean:
+	rm -rf $(BIN)
+
+.PHONY: FORCE
+FORCE:

@@ -1,0 +1,192 @@
+// Command ctslint runs the repository's static analysis suite — the
+// determinism, ctxpoll, lockcheck and wirejson analyzers under
+// internal/analysis — over Go packages.  It runs in two modes:
+//
+// Standalone, over package patterns (module-aware, uses the go toolchain
+// to load and type-check):
+//
+//	go run ./cmd/ctslint ./...
+//
+// As a go vet tool, speaking vet's unitchecker protocol, so the suite
+// composes with vet's own checks and build caching:
+//
+//	go build -o bin/ctslint ./cmd/ctslint
+//	go vet -vettool=bin/ctslint ./...
+//
+// Both modes apply the same policy (internal/analysis/driver): lockcheck
+// and wirejson everywhere, determinism and ctxpoll on the contract-scoped
+// packages, //ctslint:allow directives honored and validated.  Exit status
+// is non-zero when any diagnostic is reported.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/load"
+)
+
+func main() {
+	args := os.Args[1:]
+	// The go command probes its vet tool before use: -V=full must report a
+	// version line with a build identifier, and -flags the tool's flag set.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Println("ctslint version devel comments-go-here buildID=da39a3ee5e6b4b0d3255bfef95601890afd80709")
+			return
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return
+		case a == "-h" || a == "--help":
+			usage()
+			return
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(vetMode(args[0]))
+	}
+	os.Exit(standalone(args))
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: ctslint [packages]
+
+Runs the repro static analysis suite (determinism, ctxpoll, lockcheck,
+wirejson) over the packages (default ./...).  Also usable as a vet tool:
+go vet -vettool=$(which ctslint) ./...
+
+Analyzers:
+`)
+	for _, a := range driver.All {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, doc)
+	}
+}
+
+// standalone loads the patterns through the go toolchain and reports every
+// finding on stdout.
+func standalone(patterns []string) int {
+	findings, err := driver.Check(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctslint:", err)
+		return 1
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ctslint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the unitchecker protocol's per-package configuration, as
+// written by the go command for each vet invocation.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetMode analyzes one package under the go vet protocol: read the config,
+// type-check the files against the export data the build system already
+// produced, run the suite, and report findings on stderr with a non-zero
+// exit.  The facts file (VetxOutput) is always written — the suite carries
+// no cross-package facts, but the go command requires the file to exist.
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ctslint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "ctslint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "ctslint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "ctslint:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	info := load.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "ctslint: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	// Test variants arrive as "path [path.test]"; the contract scope is
+	// keyed on the plain import path.
+	pkgPath, _, _ := strings.Cut(cfg.ImportPath, " ")
+	pkg := &load.Package{
+		Path:      pkgPath,
+		Dir:       cfg.Dir,
+		Fset:      fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	diags := driver.CheckPackage(pkg)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, driver.Format(fset, d))
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

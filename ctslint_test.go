@@ -1,0 +1,28 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/driver"
+)
+
+// TestCtslintClean runs the full ctslint suite over the module and fails on
+// any finding, making the determinism, cancellation, locking and wire
+// contracts part of the ordinary `go test ./...` gate.  A violation must
+// either be fixed or carry a justified `//ctslint:allow <analyzer> --
+// <reason>` directive; see ARCHITECTURE.md's "Static analysis layer".
+func TestCtslintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ctslint gate type-checks the whole module; skipped in -short mode")
+	}
+	findings, err := driver.Check(".", "./...")
+	if err != nil {
+		t.Fatalf("loading module for ctslint: %v", err)
+	}
+	for _, f := range findings {
+		t.Error(f)
+	}
+	if len(findings) > 0 {
+		t.Errorf("ctslint reported %d finding(s); fix them or add a justified //ctslint:allow directive", len(findings))
+	}
+}

@@ -1,0 +1,177 @@
+// Package analysis is the foundation of ctslint, the repository's static
+// analysis suite: a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework built entirely on the standard
+// library's go/ast and go/types.
+//
+// The API deliberately mirrors x/tools (Analyzer, Pass, Diagnostic, a
+// Reportf helper) so that the analyzers under internal/analysis/... could be
+// ported to the real framework by swapping imports if the module ever takes
+// on the golang.org/x/tools dependency.  Until then the suite stays
+// buildable from a fresh clone with nothing but the Go toolchain, which is
+// what lets the root ctslint_test.go gate run inside plain `go test ./...`.
+//
+// The package also owns the allowlisting mechanism shared by every
+// analyzer: a `//ctslint:allow <analyzer> -- <reason>` comment silences
+// diagnostics reported by that analyzer on the comment's own line or on the
+// line directly below it.  The reason suffix is mandatory — an allow
+// without one (or naming an unknown analyzer) is itself a diagnostic — so
+// every suppression in the tree carries its justification next to the code
+// it exempts.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// An Analyzer describes one static check: a name (the token used in
+// diagnostics and in //ctslint:allow directives), a documentation string and
+// the function that runs the check over one package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and allow directives.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces.
+	Doc string
+	// Run performs the check, reporting findings through the pass.
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with the parsed and type-checked view of a
+// single package, plus the sink for its diagnostics.
+type Pass struct {
+	// Analyzer is the check being run.
+	Analyzer *Analyzer
+	// Fset maps token positions of Files to file/line/column.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (comments included).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// TypesInfo carries the type-checker's expression types, object
+	// definitions and uses, and field selections for Files.
+	TypesInfo *types.Info
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos under the pass's analyzer name.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: where, which analyzer, and what.
+type Diagnostic struct {
+	// Pos locates the finding inside the pass's file set.
+	Pos token.Pos
+	// Analyzer is the reporting analyzer's name ("determinism", …).
+	Analyzer string
+	// Message describes the contract violation.
+	Message string
+}
+
+// DirectiveName is the pseudo-analyzer name under which malformed
+// //ctslint:allow directives are reported.  It is a reserved name: real
+// analyzers must not use it, and an allow directive cannot silence it.
+const DirectiveName = "directive"
+
+// allowPrefix introduces an allow directive inside a // comment.
+const allowPrefix = "ctslint:allow"
+
+// allowKey identifies the scope of one allow: a single analyzer on a single
+// line of a single file.
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// AllowSet is the parsed set of //ctslint:allow directives of one package.
+type AllowSet map[allowKey]bool
+
+// ScanAllows parses every //ctslint:allow directive in the files.  known
+// reports whether an analyzer name is recognized; directives that are
+// malformed (no analyzer, unknown analyzer, or a missing `-- reason`
+// suffix) are returned as diagnostics under DirectiveName rather than
+// entering the set.
+//
+// A well-formed allow applies to the directive's own source line and to the
+// line directly below it, so both trailing comments and comments placed on
+// the preceding line work:
+//
+//	start := time.Now() //ctslint:allow determinism -- elapsed-time metadata
+//
+//	//ctslint:allow determinism -- keys are sorted before use
+//	for k := range m { … }
+func ScanAllows(fset *token.FileSet, files []*ast.File, known func(string) bool) (AllowSet, []Diagnostic) {
+	allows := AllowSet{}
+	var diags []Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue // /* */ comments cannot carry directives
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				spec, reason, hasReason := strings.Cut(rest, "--")
+				name := strings.TrimSpace(spec)
+				switch {
+				case !hasReason || strings.TrimSpace(reason) == "":
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: DirectiveName,
+						Message:  fmt.Sprintf("ctslint:allow directive needs a justification: want `//ctslint:allow %s -- <reason>`", nameOr(name)),
+					})
+				case name == "" || len(strings.Fields(name)) != 1:
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: DirectiveName,
+						Message:  "ctslint:allow directive must name exactly one analyzer: want `//ctslint:allow <analyzer> -- <reason>`",
+					})
+				case name == DirectiveName:
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: DirectiveName,
+						Message:  "ctslint:allow cannot silence directive diagnostics; fix the directive instead",
+					})
+				case !known(name):
+					diags = append(diags, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: DirectiveName,
+						Message:  fmt.Sprintf("ctslint:allow names unknown analyzer %q", name),
+					})
+				default:
+					allows[allowKey{analyzer: name, file: pos.Filename, line: pos.Line}] = true
+					allows[allowKey{analyzer: name, file: pos.Filename, line: pos.Line + 1}] = true
+				}
+			}
+		}
+	}
+	return allows, diags
+}
+
+// nameOr substitutes a placeholder when the directive omitted the analyzer.
+func nameOr(name string) string {
+	if name == "" {
+		return "<analyzer>"
+	}
+	return name
+}
+
+// Allowed reports whether the diagnostic is silenced by an allow directive.
+// Directive diagnostics are never silenceable.
+func (s AllowSet) Allowed(fset *token.FileSet, d Diagnostic) bool {
+	if d.Analyzer == DirectiveName {
+		return false
+	}
+	pos := fset.Position(d.Pos)
+	return s[allowKey{analyzer: d.Analyzer, file: pos.Filename, line: pos.Line}]
+}

@@ -1,0 +1,180 @@
+// Package analysistest runs a ctslint analyzer over self-contained test
+// packages and checks its diagnostics against `// want "regexp"`
+// expectations, mirroring golang.org/x/tools/go/analysis/analysistest on
+// the standard library only.
+//
+// Test packages live under <analyzer>/testdata/src/<name>/ and may import
+// the standard library (type-checked from source); they must not import
+// module packages.  A `// want` comment placed on a flagged line declares
+// the expected diagnostics for that line:
+//
+//	for k := range m { // want `iteration over map`
+//
+// Each quoted fragment is a regular expression that must match one
+// diagnostic message reported on that line; diagnostics without a matching
+// expectation, and expectations without a matching diagnostic, fail the
+// test.  Allow directives inside testdata are honored exactly as the
+// driver honors them, so suites can pin both that a pattern is flagged and
+// that a justified //ctslint:allow silences it; malformed directives
+// surface as "directive" diagnostics and can be pinned the same way.
+package analysistest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/load"
+)
+
+// wantRe extracts the expectation list of one line's trailing comment.
+var wantRe = regexp.MustCompile("// want (.+)$")
+
+// fragmentRe extracts the individual quoted or backquoted expectations.
+var fragmentRe = regexp.MustCompile("`[^`]*`" + `|"(?:[^"\\]|\\.)*"`)
+
+// Run loads each named package from testdata/src (relative to the calling
+// test's directory), runs the analyzer over it, and reports every mismatch
+// between diagnostics and // want expectations through t.
+func Run(t *testing.T, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "source", nil)
+	for _, name := range pkgs {
+		runPackage(t, fset, imp, a, name)
+	}
+}
+
+func runPackage(t *testing.T, fset *token.FileSet, imp types.Importer, a *analysis.Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	var files []*ast.File
+	var paths []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		files = append(files, f)
+		paths = append(paths, path)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	info := load.NewInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(name, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", dir, err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	allows, directiveDiags := analysis.ScanAllows(fset, files, func(n string) bool { return n == a.Name })
+	diags = append(diags, directiveDiags...)
+	var kept []analysis.Diagnostic
+	for _, d := range diags {
+		if !allows.Allowed(fset, d) {
+			kept = append(kept, d)
+		}
+	}
+
+	checkExpectations(t, fset, files, paths, kept)
+}
+
+// expectation is one unconsumed // want fragment.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+}
+
+// checkExpectations matches diagnostics against the files' // want
+// comments, reporting surplus and deficit through t.
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, paths []string, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for i, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				line := fset.Position(c.Pos()).Line
+				for _, frag := range fragmentRe.FindAllString(m[1], -1) {
+					pattern := frag
+					if strings.HasPrefix(frag, `"`) {
+						var err error
+						pattern, err = strconv.Unquote(frag)
+						if err != nil {
+							t.Errorf("%s:%d: bad want fragment %s: %v", paths[i], line, frag, err)
+							continue
+						}
+					} else {
+						pattern = strings.Trim(frag, "`")
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", paths[i], line, pattern, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: paths[i], line: line, re: re, raw: pattern})
+				}
+			}
+		}
+	}
+
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		matched := false
+		for _, w := range wants {
+			if w.re == nil || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.re = nil // consumed
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if w.re != nil {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}

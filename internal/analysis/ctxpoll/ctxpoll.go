@@ -1,0 +1,170 @@
+// Package ctxpoll implements the ctslint analyzer that enforces the
+// cancellation contract: any context-accepting function in a
+// contract-scoped package whose loops are unbounded or data-dependent (the
+// maze-expansion shape) must poll the context inside those loops, so
+// cancelling a run aborts it promptly instead of after an arbitrarily long
+// level.  pkg/cts documents prompt cancellation as API behavior and
+// pkg/ctsserver's deadline scheduling depends on it.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags unbounded loops that never poll their function's context.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxpoll",
+	Doc: `require ctx polling inside unbounded loops of context-accepting functions
+
+A function that accepts a context.Context promises prompt cancellation.
+Inside such functions (and function literals), every loop that is not
+provably bounded — 'for {}', 'for cond {}', three-clause loops with a
+data-dependent condition, and 'range' over a channel — must contain a
+context poll: a ctx.Err()/ctx.Done() call, or any call that receives a
+context (which delegates the polling obligation to the callee).  Loops
+bounded by a constant ('for i := 0; i < 8; i++') and ranges over slices,
+arrays, maps and integers are exempt.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// reported dedupes loops that sit inside nested context-accepting
+	// function literals and are therefore visited more than once.
+	reported := map[token.Pos]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var ftype *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ftype, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ftype, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil || !acceptsContext(pass, ftype) {
+				return true
+			}
+			checkLoops(pass, body, reported)
+			return true
+		})
+	}
+	return nil
+}
+
+// acceptsContext reports whether the function signature has a
+// context.Context parameter.
+func acceptsContext(pass *analysis.Pass, ftype *ast.FuncType) bool {
+	if ftype.Params == nil {
+		return false
+	}
+	for _, field := range ftype.Params.List {
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// checkLoops walks the function body and reports unbounded loops without a
+// context poll.  Function literals inside the body are included: their
+// loops run on the enclosing function's context via closure.
+func checkLoops(pass *analysis.Pass, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			if constantBound(pass, loop.Cond) {
+				return true
+			}
+			report(pass, loop.For, loop.Body, reported)
+		case *ast.RangeStmt:
+			t := pass.TypesInfo.TypeOf(loop.X)
+			if t == nil {
+				return true
+			}
+			if _, ok := t.Underlying().(*types.Chan); !ok {
+				return true // slices, arrays, maps and ints are bounded
+			}
+			report(pass, loop.For, loop.Body, reported)
+		}
+		return true
+	})
+}
+
+// report flags the loop unless its body polls a context somewhere.
+func report(pass *analysis.Pass, pos token.Pos, body *ast.BlockStmt, reported map[token.Pos]bool) {
+	if reported[pos] || pollsContext(pass, body) {
+		return
+	}
+	reported[pos] = true
+	pass.Reportf(pos,
+		"unbounded loop in a context-accepting function never polls the context; add a ctx.Err() check (or pass ctx to a callee that does) so cancellation stays prompt")
+}
+
+// constantBound reports whether the loop condition compares a plain
+// identifier against a compile-time constant — the bounded counter shape
+// ('i < 64') that cannot run away on pathological input.
+func constantBound(pass *analysis.Pass, cond ast.Expr) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+	default:
+		return false
+	}
+	return identVsConstant(pass, bin.X, bin.Y) || identVsConstant(pass, bin.Y, bin.X)
+}
+
+// identVsConstant reports whether a is a bare identifier and b a constant.
+func identVsConstant(pass *analysis.Pass, a, b ast.Expr) bool {
+	if _, ok := a.(*ast.Ident); !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[b]
+	return ok && tv.Value != nil
+}
+
+// pollsContext reports whether the statement block contains a context
+// poll: a method call on a context value (ctx.Err, ctx.Done, …) or a call
+// passing a context value to a callee.
+func pollsContext(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isContextType(pass.TypesInfo.TypeOf(sel.X)) {
+			found = true
+			return false
+		}
+		for _, arg := range call.Args {
+			if isContextType(pass.TypesInfo.TypeOf(arg)) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

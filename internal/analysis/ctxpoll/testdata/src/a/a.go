@@ -1,0 +1,110 @@
+// Package a exercises the ctxpoll analyzer: unbounded loops inside
+// context-accepting functions must poll the context.
+package a
+
+import "context"
+
+// Unpolled never checks ctx inside its data-dependent loop.
+func Unpolled(ctx context.Context, work []int) int {
+	total := 0
+	for len(work) > 0 { // want `never polls the context`
+		total += work[0]
+		work = work[1:]
+	}
+	return total
+}
+
+// Polled checks ctx.Err on every iteration; the canonical fix.
+func Polled(ctx context.Context, work []int) (int, error) {
+	total := 0
+	for len(work) > 0 {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		total += work[0]
+		work = work[1:]
+	}
+	return total, nil
+}
+
+// Delegated passes ctx to a callee each iteration, which transfers the
+// polling obligation.
+func Delegated(ctx context.Context) error {
+	for {
+		if err := step(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+func step(ctx context.Context) error { return ctx.Err() }
+
+// ConstantBound counts to a compile-time constant; exempt.
+func ConstantBound(ctx context.Context) int {
+	n := 0
+	for i := 0; i < 64; i++ {
+		n += i
+	}
+	return n
+}
+
+// SliceRange iterates a finite slice; exempt.
+func SliceRange(ctx context.Context, xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
+}
+
+// ChannelRange blocks until the channel closes — unbounded, so it must
+// poll.
+func ChannelRange(ctx context.Context, ch <-chan int) int {
+	n := 0
+	for v := range ch { // want `never polls the context`
+		n += v
+	}
+	return n
+}
+
+// ChannelRangePolled drains the same channel but stays cancellable.
+func ChannelRangePolled(ctx context.Context, ch <-chan int) (int, error) {
+	n := 0
+	for v := range ch {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		n += v
+	}
+	return n, nil
+}
+
+// NoContext accepts no context; its loops carry no polling obligation.
+func NoContext(work []int) int {
+	total := 0
+	for len(work) > 0 {
+		total += work[0]
+		work = work[1:]
+	}
+	return total
+}
+
+// InLiteral shows that function literals inside a context-accepting
+// function inherit the obligation: the closure runs on the parent's ctx.
+func InLiteral(ctx context.Context, work []int) func() {
+	return func() {
+		for len(work) > 0 { // want `never polls the context`
+			work = work[1:]
+		}
+	}
+}
+
+// LiteralWithOwnContext is a context-accepting literal inside a plain
+// function; the obligation attaches to the literal itself.
+func LiteralWithOwnContext() func(context.Context, []int) {
+	return func(ctx context.Context, work []int) {
+		for len(work) > 0 { // want `never polls the context`
+			work = work[1:]
+		}
+	}
+}

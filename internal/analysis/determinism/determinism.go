@@ -1,0 +1,175 @@
+// Package determinism implements the ctslint analyzer that guards the
+// reproduction's core contract: synthesis results are pure functions of
+// their inputs.  The parallel merge fan-out (PR 2) is pinned bit-identical
+// to the sequential path, indexed pairing (PR 3) is pinned bit-identical to
+// the brute-force oracle, and the cts.CanonicalKey result cache (PRs 4–5)
+// silently serves wrong answers if any deterministic stage ever becomes
+// input-order- or schedule-dependent.  This analyzer rejects the source
+// patterns that introduce that dependence, so CI fails on the pattern
+// instead of relying on a lucky test input.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer flags the four nondeterminism patterns in contract-scoped
+// packages (ScopedPackages): map iteration, unseeded package-level
+// math/rand, wall-clock reads, and select over multiple channels.
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc: `forbid nondeterministic source patterns in result-producing packages
+
+Flags, in the packages listed in ScopedPackages:
+
+  - 'for … range m' over a map: iteration order is randomized per run, so
+    any value that escapes the loop in an order-dependent way (appends,
+    float accumulation, first-wins selection) poisons the result.  A loop
+    whose body only copies entries into another map is order-insensitive
+    and exempt.
+  - calls to package-level math/rand and math/rand/v2 functions: the global
+    generators are randomly seeded, so their output differs between
+    processes.  Constructing an explicitly seeded generator (rand.New,
+    rand.NewSource, rand.NewPCG, …) is allowed.
+  - time.Now(): wall-clock readings feeding result values make identical
+    requests hash to identical cache keys but produce different results.
+    Elapsed-time metadata is legitimate; allowlist it with
+    '//ctslint:allow determinism -- <reason>'.
+  - select with two or more communication cases: which ready case runs is
+    scheduler-dependent, so results must never be routed through one.`,
+	Run: run,
+}
+
+// randConstructors are the math/rand functions that build explicitly seeded
+// generators; calling them is deterministic, unlike the package-level
+// draw functions that use the randomly seeded global source.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				checkMapRange(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, n)
+			case *ast.SelectStmt:
+				checkSelect(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkMapRange flags map iteration unless the loop body is a pure
+// map-to-map copy, which is insensitive to iteration order.
+func checkMapRange(pass *analysis.Pass, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	if isMapCopyBody(pass, rng.Body) {
+		return
+	}
+	pass.Reportf(rng.For,
+		"iteration over map %s has randomized order; sort the keys first or use //ctslint:allow determinism -- <reason> if the order provably cannot escape",
+		typeExprString(rng.X))
+}
+
+// isMapCopyBody reports whether the loop body consists solely of
+// assignments whose targets are map index expressions (m2[k] = v …): such
+// loops commute under reordering and cannot leak iteration order.
+func isMapCopyBody(pass *analysis.Pass, body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	for _, stmt := range body.List {
+		assign, ok := stmt.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		for _, lhs := range assign.Lhs {
+			idx, ok := lhs.(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			t := pass.TypesInfo.TypeOf(idx.X)
+			if t == nil {
+				return false
+			}
+			if _, ok := t.Underlying().(*types.Map); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// checkCall flags time.Now() and package-level math/rand draws.
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok {
+		return
+	}
+	switch path := pkgName.Imported().Path(); path {
+	case "time":
+		if sel.Sel.Name == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now() in a deterministic stage: wall-clock readings may not feed result values; allowlist elapsed-time metadata with //ctslint:allow determinism -- <reason>")
+		}
+	case "math/rand", "math/rand/v2":
+		if !randConstructors[sel.Sel.Name] {
+			pass.Reportf(call.Pos(),
+				"%s.%s uses the randomly seeded global generator; construct an explicitly seeded one with rand.New instead", path, sel.Sel.Name)
+		}
+	}
+}
+
+// checkSelect flags selects over two or more communication cases: the
+// runtime picks a ready case pseudo-randomly, so control flow downstream of
+// such a select is schedule-dependent.
+func checkSelect(pass *analysis.Pass, sel *ast.SelectStmt) {
+	comms := 0
+	for _, clause := range sel.Body.List {
+		if c, ok := clause.(*ast.CommClause); ok && c.Comm != nil {
+			comms++
+		}
+	}
+	if comms >= 2 {
+		pass.Reportf(sel.Select,
+			"select over %d channels picks a ready case at random; results must not depend on which fires (//ctslint:allow determinism -- <reason> if no result value is routed through it)", comms)
+	}
+}
+
+// typeExprString renders the ranged expression for the diagnostic.
+func typeExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return typeExprString(e.X) + "." + e.Sel.Name
+	default:
+		return "expression"
+	}
+}

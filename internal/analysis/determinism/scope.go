@@ -1,0 +1,35 @@
+package determinism
+
+// ScopedPackages is the machine-readable list of packages bound by the
+// determinism contract: every stage that participates in producing a
+// synthesis Result must be a pure function of its inputs, because
+// cts.CanonicalKey-addressed caching (pkg/ctsserver and its disk tier)
+// serves cached results for byte-identical requests and the parallel merge
+// fan-out is pinned bit-identical to the sequential path.
+//
+// The ctslint driver runs the determinism and ctxpoll analyzers exactly on
+// these import paths (see internal/analysis/driver).  Adding a package here
+// is a contract statement: its code may not iterate maps into outputs, read
+// the clock or unseeded randomness into result values, or select over
+// multiple channels on a result path without an explicit, justified
+// //ctslint:allow directive.  ARCHITECTURE.md's "Static analysis layer"
+// section documents the workflow around this list.
+var ScopedPackages = []string{
+	"repro/internal/dme",
+	"repro/internal/geom",
+	"repro/internal/mergeroute",
+	"repro/internal/spatial",
+	"repro/internal/topology",
+	"repro/pkg/cts",
+}
+
+// InScope reports whether the import path is bound by the determinism
+// contract.
+func InScope(path string) bool {
+	for _, p := range ScopedPackages {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}

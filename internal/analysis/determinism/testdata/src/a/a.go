@@ -1,0 +1,76 @@
+// Package a exercises the determinism analyzer: every construct the
+// contract forbids, next to its closest permitted sibling.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// MapRange lets the randomized iteration order escape into the result.
+func MapRange(m map[string]int) []string {
+	var out []string
+	for k := range m { // want `iteration over map`
+		out = append(out, k)
+	}
+	return out
+}
+
+// MapCopy is the exempt map-to-map copy shape: order cannot escape.
+func MapCopy(src map[string]int) map[string]int {
+	dst := make(map[string]int, len(src))
+	for k, v := range src {
+		dst[k] = v
+	}
+	return dst
+}
+
+// SliceRange is ordered iteration; nothing to flag.
+func SliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// GlobalRand draws from the randomly seeded process-global generator.
+func GlobalRand() float64 {
+	return rand.Float64() // want `randomly seeded global generator`
+}
+
+// SeededRand constructs an explicitly seeded generator; reproducible.
+func SeededRand() float64 {
+	r := rand.New(rand.NewSource(7))
+	return r.Float64()
+}
+
+// WallClock reads the wall clock.
+func WallClock() time.Time {
+	return time.Now() // want `time\.Now\(\)`
+}
+
+// Elapsed only measures durations; time.Since is not flagged.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Racy races two channels; which case fires is scheduler-dependent.
+func Racy(a, b <-chan int) int {
+	select { // want `select over 2 channels`
+	case v := <-a:
+		return v
+	case v := <-b:
+		return v
+	}
+}
+
+// TryRecv has a single communication clause plus default; deterministic.
+func TryRecv(a <-chan int) (int, bool) {
+	select {
+	case v := <-a:
+		return v, true
+	default:
+		return 0, false
+	}
+}

@@ -1,0 +1,45 @@
+// Package allow exercises the //ctslint:allow directive machinery: a
+// well-formed directive silences a finding on its own line or the next,
+// while malformed directives are themselves diagnostics (under the
+// reserved "directive" pseudo-analyzer) and silence nothing.
+package allow
+
+import "time"
+
+// Inline is silenced by a justified trailing directive.
+func Inline() time.Time {
+	return time.Now() //ctslint:allow determinism -- test fixture: elapsed-time metadata only
+}
+
+// Preceding is silenced by a justified directive on the line above.
+func Preceding(m map[string]bool) int {
+	n := 0
+	//ctslint:allow determinism -- order cannot escape: only the count is used
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Unjustified shows that an allow without a `-- reason` suffix is itself a
+// diagnostic and leaves the underlying finding in force.
+func Unjustified() time.Time {
+	//ctslint:allow determinism // want `needs a justification`
+	return time.Now() // want `time\.Now\(\)`
+}
+
+// Multi shows that a directive naming several analyzers is malformed.
+func Multi() time.Time {
+	//ctslint:allow determinism ctxpoll -- blanket waivers are not a thing // want `exactly one analyzer`
+	return time.Now() // want `time\.Now\(\)`
+}
+
+// Reserved shows that directive diagnostics cannot silence themselves.
+func Reserved() {
+	//ctslint:allow directive -- nice try // want `cannot silence directive diagnostics`
+}
+
+// Unknown shows that a directive naming an unknown analyzer is reported.
+func Unknown() {
+	//ctslint:allow speling -- typo // want `unknown analyzer "speling"`
+}

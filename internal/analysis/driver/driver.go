@@ -1,0 +1,134 @@
+// Package driver assembles the ctslint analyzer suite: the registry of
+// analyzers, the contract-scope policy deciding which analyzers run on
+// which package, allow-directive filtering, and diagnostic formatting.  It
+// is shared by the cmd/ctslint binary (standalone and go vet -vettool
+// modes) and by the root ctslint_test.go gate, so all three entry points
+// enforce exactly the same policy.
+package driver
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/ctxpoll"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/load"
+	"repro/internal/analysis/lockcheck"
+	"repro/internal/analysis/wirejson"
+)
+
+// All lists every analyzer of the suite, in reporting order.
+var All = []*analysis.Analyzer{
+	determinism.Analyzer,
+	ctxpoll.Analyzer,
+	lockcheck.Analyzer,
+	wirejson.Analyzer,
+}
+
+// For returns the analyzers that apply to the package: lockcheck and
+// wirejson run everywhere, while determinism and ctxpoll are restricted to
+// the contract-scoped packages (determinism.ScopedPackages) whose outputs
+// feed the bit-identical/caching contracts.
+func For(pkgPath string) []*analysis.Analyzer {
+	inScope := determinism.InScope(pkgPath)
+	var out []*analysis.Analyzer
+	for _, a := range All {
+		switch a {
+		case determinism.Analyzer, ctxpoll.Analyzer:
+			if inScope {
+				out = append(out, a)
+			}
+		default:
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Known reports whether name is an analyzer of the suite; it is the
+// validity test for //ctslint:allow directives.
+func Known(name string) bool {
+	for _, a := range All {
+		if a.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// CheckPackage runs the applicable analyzers over one loaded package and
+// returns the surviving diagnostics: allow-directed findings are filtered
+// out, malformed directives are reported, and findings in _test.go files
+// are dropped (tests exercise nondeterminism on purpose).  The diagnostics
+// come back sorted by position.
+func CheckPackage(pkg *load.Package) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range For(pkg.Path) {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      token.NoPos,
+				Analyzer: a.Name,
+				Message:  fmt.Sprintf("analyzer failed: %v", err),
+			})
+		}
+	}
+	allows, directiveDiags := analysis.ScanAllows(pkg.Fset, pkg.Files, Known)
+	diags = append(diags, directiveDiags...)
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if allows.Allowed(pkg.Fset, d) {
+			continue
+		}
+		if strings.HasSuffix(pkg.Fset.Position(d.Pos).Filename, "_test.go") {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		pi, pj := pkg.Fset.Position(kept[i].Pos), pkg.Fset.Position(kept[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return kept[i].Analyzer < kept[j].Analyzer
+	})
+	return kept
+}
+
+// Check loads the packages matching the patterns (rooted at dir) and runs
+// the suite over each, returning every formatted finding.
+func Check(dir string, patterns ...string) ([]string, error) {
+	pkgs, err := load.Packages(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, pkg := range pkgs {
+		for _, d := range CheckPackage(pkg) {
+			out = append(out, Format(pkg.Fset, d))
+		}
+	}
+	return out, nil
+}
+
+// Format renders one diagnostic as "file:line:col: analyzer: message".
+func Format(fset *token.FileSet, d analysis.Diagnostic) string {
+	if !d.Pos.IsValid() {
+		return fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+	}
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}

@@ -1,0 +1,40 @@
+package driver_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/ctxpoll"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/driver"
+)
+
+// TestScopePolicy pins which analyzers run where: the full suite on
+// contract-scoped packages, lockcheck and wirejson everywhere else.
+func TestScopePolicy(t *testing.T) {
+	scoped := driver.For("repro/internal/topology")
+	if len(scoped) != len(driver.All) {
+		t.Errorf("For(scoped) returned %d analyzers, want all %d", len(scoped), len(driver.All))
+	}
+	unscoped := driver.For("repro/pkg/ctsserver")
+	if want := len(driver.All) - 2; len(unscoped) != want {
+		t.Errorf("For(unscoped) returned %d analyzers, want %d", len(unscoped), want)
+	}
+	for _, a := range unscoped {
+		if a == determinism.Analyzer || a == ctxpoll.Analyzer {
+			t.Errorf("For(unscoped) includes contract-scoped analyzer %s", a.Name)
+		}
+	}
+}
+
+func TestKnown(t *testing.T) {
+	for _, a := range driver.All {
+		if !driver.Known(a.Name) {
+			t.Errorf("Known(%q) = false, want true", a.Name)
+		}
+	}
+	for _, name := range []string{"", "directive", "nosuch"} {
+		if driver.Known(name) {
+			t.Errorf("Known(%q) = true, want false", name)
+		}
+	}
+}

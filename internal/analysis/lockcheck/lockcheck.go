@@ -1,0 +1,186 @@
+// Package lockcheck implements the ctslint analyzer that machine-checks
+// `// guarded by <mu>` field annotations: a struct field documented as
+// guarded by a mutex may only be accessed in functions that visibly
+// acquire that mutex (or are documented/named as running with it held).
+// It is a deliberately conservative, function-granular heuristic — no
+// interprocedural or region analysis — aimed at the sharded-memo and
+// scheduler-heap classes of race, which `go test -race` only catches when
+// a triggering schedule happens to occur.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces `// guarded by <mu>` field annotations.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc: `check that fields annotated '// guarded by <mu>' are accessed under that mutex
+
+A struct field whose doc (or trailing) comment contains 'guarded by <name>'
+may only be selected inside functions that also call <name>.Lock(),
+<name>.RLock() or <name>.TryLock() somewhere in their body.  Two escape
+hatches acknowledge lock-transfer idioms: functions whose name ends in
+'Locked', and functions whose doc comment says callers 'must hold' the
+mutex, are assumed to run with the lock held by contract.  The annotation
+must name a sibling field of the same struct.`,
+	Run: run,
+}
+
+// guardedRe extracts the mutex name from a field comment.
+var guardedRe = regexp.MustCompile(`(?i)guarded by (\w+)`)
+
+// mustHoldRe recognizes the documented lock-precondition idiom.
+var mustHoldRe = regexp.MustCompile(`(?i)must hold`)
+
+func run(pass *analysis.Pass) error {
+	guarded := collectGuarded(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if exemptFunc(fn) {
+				continue
+			}
+			checkFunc(pass, fn, guarded)
+		}
+	}
+	return nil
+}
+
+// collectGuarded gathers the annotated fields: types.Var of the field →
+// name of the guarding mutex.  Annotations naming a non-sibling mutex are
+// reported immediately.
+func collectGuarded(pass *analysis.Pass) map[*types.Var]string {
+	guarded := map[*types.Var]string{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			siblings := map[string]bool{}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					siblings[name.Name] = true
+				}
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				if !siblings[mu] {
+					pass.Reportf(field.Pos(),
+						"'guarded by %s' names no field of this struct; the annotation must name a sibling mutex", mu)
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[v] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardAnnotation returns the mutex named by the field's 'guarded by'
+// comment, or "" when the field carries none.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// exemptFunc reports whether the function is assumed to run with its locks
+// already held: the 'fooLocked' naming convention, or a doc comment
+// declaring that callers must hold the mutex.
+func exemptFunc(fn *ast.FuncDecl) bool {
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return true
+	}
+	return fn.Doc != nil && mustHoldRe.MatchString(fn.Doc.Text())
+}
+
+// checkFunc reports guarded-field selections inside fn that are not
+// covered by an acquisition of the guarding mutex anywhere in fn's body
+// (function literals included — a literal lives on its parent's locks).
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl, guarded map[*types.Var]string) {
+	held := map[string]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock", "TryLock", "TryRLock":
+			if name := baseFieldName(sel.X); name != "" {
+				held[name] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		obj, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+		if !ok {
+			return true
+		}
+		mu, ok := guarded[obj]
+		if !ok || held[mu] {
+			return true
+		}
+		pass.Reportf(sel.Pos(),
+			"%s is guarded by %s, but %s never acquires %s (add the lock, or mark the function with a 'Locked' suffix or a 'callers must hold %s' doc comment)",
+			sel.Sel.Name, mu, fn.Name.Name, mu, mu)
+		return true
+	})
+}
+
+// baseFieldName returns the terminal identifier of a mutex expression:
+// 'mu' for s.mu, c.shard(k).mu, or a bare mu.
+func baseFieldName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.ParenExpr:
+		return baseFieldName(e.X)
+	case *ast.StarExpr:
+		return baseFieldName(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return baseFieldName(e.X)
+		}
+	}
+	return ""
+}

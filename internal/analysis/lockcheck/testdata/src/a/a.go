@@ -1,0 +1,64 @@
+// Package a exercises the lockcheck analyzer: fields annotated
+// `// guarded by <mu>` must be accessed under that mutex, with the Locked
+// suffix and "callers must hold" doc conventions as escape hatches.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	hi int // guarded by mu
+}
+
+// Add acquires the mutex before touching the guarded fields.
+func (c *counter) Add(d int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += d
+	if c.n > c.hi {
+		c.hi = c.n
+	}
+}
+
+// Racy reads a guarded field without acquiring anything.
+func (c *counter) Racy() int {
+	return c.n // want `n is guarded by mu`
+}
+
+// readLocked is exempt by the Locked naming convention.
+func (c *counter) readLocked() int {
+	return c.n
+}
+
+// peek is exempt because callers must hold c.mu.
+func (c *counter) peek() int {
+	return c.n
+}
+
+type gauge struct {
+	mu  sync.RWMutex
+	val float64 // guarded by mu
+}
+
+// Get reads under the read lock; RLock counts as an acquisition.
+func (g *gauge) Get() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.val
+}
+
+// Unlocked touches the guarded field with no lock anywhere in the body.
+func (g *gauge) Unlocked() float64 {
+	return g.val // want `val is guarded by mu`
+}
+
+type badannot struct {
+	mu sync.Mutex
+	v  int // guarded by lock // want `names no field of this struct`
+}
+
+// use keeps the otherwise-unused declarations alive.
+func use(c *counter, b *badannot) int {
+	return c.readLocked() + c.peek() + b.v
+}

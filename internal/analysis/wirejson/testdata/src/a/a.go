@@ -1,0 +1,26 @@
+// Outside wire.go the analyzer still covers the *JSON-suffixed serialized
+// forms, and flags any struct that mixes tagged and untagged exported
+// fields.
+package a
+
+// statusJSON is a wire type by the naming convention.
+type statusJSON struct {
+	State string `json:"state"`
+	Code  int    // want `has no json tag`
+}
+
+// config is untagged throughout: not a wire type, nothing to report.
+type config struct {
+	Workers int
+	Depth   int
+}
+
+// mixed tags one exported field but not the other — the drift shape.
+type mixed struct {
+	A int `json:"a"`
+	B int // want `mixes json-tagged and untagged`
+}
+
+func use2() (statusJSON, config, mixed) {
+	return statusJSON{}, config{}, mixed{}
+}

@@ -1,0 +1,36 @@
+// Structs in a file named wire.go are wire types: every exported field
+// needs an explicit json tag and no member may be interface-typed.
+package a
+
+// Tagged is fully tagged; unexported fields are not part of the contract.
+type Tagged struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	memo  int
+}
+
+// Missing drifts: a new exported field arrived without a tag.
+type Missing struct {
+	Name  string `json:"name"`
+	Extra int    // want `has no json tag`
+}
+
+// Iface smuggles an interface member, which cannot round-trip.
+type Iface struct {
+	Payload interface{} `json:"payload"` // want `interface-typed`
+}
+
+// Nested hides the interface one container deep; still caught.
+type Nested struct {
+	Opts []any `json:"opts"` // want `interface-typed`
+}
+
+// Excluded keeps a field off the wire the explicit way.
+type Excluded struct {
+	Name   string `json:"name"`
+	Hidden int    `json:"-"`
+}
+
+func use() (Tagged, Missing, Iface, Nested, Excluded) {
+	return Tagged{memo: 1}, Missing{}, Iface{}, Nested{}, Excluded{}
+}

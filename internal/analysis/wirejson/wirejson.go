@@ -1,0 +1,186 @@
+// Package wirejson implements the ctslint analyzer that pins the wire
+// contract's shape at the type level.  The JSON surfaces of pkg/cts and
+// pkg/ctsserver are frozen by round-trip tests, but those tests only catch
+// drift on fields they happen to exercise; this analyzer rejects the
+// field-by-field drift patterns — a new exported field without a json tag
+// (whose wire name would then silently be the Go identifier) and
+// interface-typed members (whose decoded form differs from the encoded
+// one) — on every wire-carrying type in the tree.
+package wirejson
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"reflect"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Analyzer enforces explicit json tags and concrete member types on wire
+// structs.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirejson",
+	Doc: `keep wire types explicitly tagged and concretely typed
+
+Structs declared in a file named wire.go, and structs whose type name ends
+in "JSON" (the pkg/cts serialized forms), are wire types: every exported
+field must carry an explicit json tag (json:"-" to exclude a field), and
+no field may be interface-typed — an interface member marshals as its
+dynamic value and cannot round-trip.  Everywhere else, a struct that mixes
+json-tagged and untagged exported fields is reported too: the untagged
+fields drift onto the wire under their Go identifiers unnoticed.`,
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		isWireFile := filepath.Base(pass.Fset.Position(file.Pos()).Filename) == "wire.go"
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if isWireFile || strings.HasSuffix(ts.Name.Name, "JSON") {
+					checkWireStruct(pass, ts.Name.Name, st)
+				} else {
+					checkMixedTags(pass, ts.Name.Name, st)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkWireStruct enforces the full contract on a wire type.
+func checkWireStruct(pass *analysis.Pass, name string, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		for _, fname := range fieldNames(field) {
+			if !ast.IsExported(fname) {
+				continue
+			}
+			if !hasJSONTag(field) {
+				pass.Reportf(field.Pos(),
+					"exported field %s of wire type %s has no json tag; tag every exported field explicitly (json:\"-\" to keep it off the wire)", fname, name)
+			}
+			if t := pass.TypesInfo.TypeOf(field.Type); containsInterface(t, 0) {
+				pass.Reportf(field.Pos(),
+					"field %s of wire type %s is interface-typed; wire members must be concrete so the contract round-trips", fname, name)
+			}
+		}
+	}
+}
+
+// checkMixedTags reports untagged exported fields of structs that already
+// tag at least one exported field — the shape of field-by-field drift.
+func checkMixedTags(pass *analysis.Pass, name string, st *ast.StructType) {
+	tagged := false
+	for _, field := range st.Fields.List {
+		if exportedFieldCount(field) > 0 && hasJSONTag(field) {
+			tagged = true
+			break
+		}
+	}
+	if !tagged {
+		return
+	}
+	for _, field := range st.Fields.List {
+		for _, fname := range fieldNames(field) {
+			if ast.IsExported(fname) && !hasJSONTag(field) {
+				pass.Reportf(field.Pos(),
+					"struct %s mixes json-tagged and untagged exported fields: %s would reach the wire under its Go name; tag it explicitly (json:\"-\" to exclude)", name, fname)
+			}
+		}
+	}
+}
+
+// exportedFieldCount counts the exported names a field declares.
+func exportedFieldCount(field *ast.Field) int {
+	n := 0
+	for _, name := range fieldNames(field) {
+		if ast.IsExported(name) {
+			n++
+		}
+	}
+	return n
+}
+
+// fieldNames lists the declared names of a field; an embedded field
+// contributes its type's base identifier.
+func fieldNames(field *ast.Field) []string {
+	if len(field.Names) > 0 {
+		names := make([]string, len(field.Names))
+		for i, n := range field.Names {
+			names[i] = n.Name
+		}
+		return names
+	}
+	if name := embeddedName(field.Type); name != "" {
+		return []string{name}
+	}
+	return nil
+}
+
+// embeddedName resolves the identifier an embedded field is known by.
+func embeddedName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.StarExpr:
+		return embeddedName(e.X)
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.IndexExpr:
+		return embeddedName(e.X)
+	}
+	return ""
+}
+
+// hasJSONTag reports whether the field's struct tag has a json key.
+func hasJSONTag(field *ast.Field) bool {
+	if field.Tag == nil {
+		return false
+	}
+	tag := strings.Trim(field.Tag.Value, "`")
+	_, ok := reflect.StructTag(tag).Lookup("json")
+	return ok
+}
+
+// containsInterface reports whether the type has an interface anywhere in
+// its immediate structure (through pointers, slices, arrays and maps, but
+// not through named struct types, which are checked where they are
+// declared).
+func containsInterface(t types.Type, depth int) bool {
+	if t == nil || depth > 8 {
+		return false
+	}
+	// `any` and other alias declarations resolve through types.Alias.
+	switch t := types.Unalias(t).(type) {
+	case *types.Interface:
+		return true
+	case *types.Named:
+		_, ok := t.Underlying().(*types.Interface)
+		return ok
+	case *types.Pointer:
+		return containsInterface(t.Elem(), depth+1)
+	case *types.Slice:
+		return containsInterface(t.Elem(), depth+1)
+	case *types.Array:
+		return containsInterface(t.Elem(), depth+1)
+	case *types.Map:
+		return containsInterface(t.Key(), depth+1) || containsInterface(t.Elem(), depth+1)
+	case *types.Chan:
+		return containsInterface(t.Elem(), depth+1)
+	}
+	return false
+}

@@ -666,12 +666,14 @@ func fitBranch(slews, lls, lrs, bufD, ld, rd, ls, rs []float64, degree int) (*Br
 
 // libraryJSON is the on-disk representation of a library.
 type libraryJSON struct {
-	TechName    string
-	Analytic    bool
-	SlewRange   [2]float64
-	LengthRange [2]float64
-	Single      map[string]*SingleFits
-	Branch      map[string]*BranchFits
+	// Tags spell out the historical default names so the on-disk format
+	// stays stable even if the Go identifiers are ever renamed.
+	TechName    string                 `json:"TechName"`
+	Analytic    bool                   `json:"Analytic"`
+	SlewRange   [2]float64             `json:"SlewRange"`
+	LengthRange [2]float64             `json:"LengthRange"`
+	Single      map[string]*SingleFits `json:"Single"`
+	Branch      map[string]*BranchFits `json:"Branch"`
 }
 
 // Save writes the library to a JSON file.

@@ -132,7 +132,7 @@ const drivableShards = 16
 type drivableCache struct {
 	shards [drivableShards]struct {
 		mu sync.RWMutex
-		m  map[float64]float64
+		m  map[float64]float64 // guarded by mu
 	}
 }
 

@@ -24,6 +24,7 @@ func (f *Flow) Run(ctx context.Context, sinks []Sink) (*Result, error) {
 // run is the shared implementation behind Run and RunBatch; item names the
 // batch item in emitted events.
 func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result, err error) {
+	//ctslint:allow determinism -- elapsed-time metadata only; feeds Event.Elapsed and Result.Timing, never geometry
 	start := time.Now()
 	f.emit(Event{Kind: EventFlowStart, Item: item, Sinks: len(sinks)})
 	defer func() {
@@ -73,6 +74,7 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 		}
 		level := res.Levels + 1
 
+		//ctslint:allow determinism -- elapsed-time metadata only; feeds Event.Elapsed, never geometry
 		topoStart := time.Now()
 		f.emit(Event{Kind: EventStageStart, Item: item, Stage: StageTopology, Level: level})
 		items := make([]Item, len(current))
@@ -88,6 +90,7 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 		}
 		f.emit(Event{Kind: EventStageEnd, Item: item, Stage: StageTopology, Level: level, Elapsed: time.Since(topoStart)})
 
+		//ctslint:allow determinism -- elapsed-time metadata only; feeds Event.Elapsed, never geometry
 		mergeStart := time.Now()
 		f.emit(Event{Kind: EventStageStart, Item: item, Stage: StageMergeRoute, Level: level})
 		next := make([]*mergeroute.Subtree, 0, len(pairs)+1)
@@ -261,6 +264,7 @@ func timedStage[T any](f *Flow, ctx context.Context, item, stage string, fn func
 	if err := ctx.Err(); err != nil {
 		return zero, err
 	}
+	//ctslint:allow determinism -- elapsed-time metadata only; feeds Event.Elapsed, never geometry
 	start := time.Now()
 	f.emit(Event{Kind: EventStageStart, Item: item, Stage: stage})
 	out, err := fn(ctx)

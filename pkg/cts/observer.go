@@ -230,6 +230,7 @@ func (s MetricsSnapshot) Render() string {
 	fmt.Fprintf(&b, "flows: %d started, %d done, %d failed; levels %d, pairs %d, flips %d\n",
 		s.FlowsStarted, s.FlowsDone, s.FlowsFailed, s.Levels, s.Pairs, s.Flips)
 	names := make([]string, 0, len(s.Stages))
+	//ctslint:allow determinism -- collect-then-sort: keys are sorted immediately below, so the range order cannot escape
 	for name := range s.Stages {
 		names = append(names, name)
 	}

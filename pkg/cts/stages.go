@@ -224,6 +224,9 @@ func (f *feedBufferer) AttachSource(ctx context.Context, root *mergeroute.Subtre
 	parent := tree.Root
 	prev := pos
 	for i := 1; i <= segments; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		frac := float64(i) / float64(segments)
 		p := geom.Segment{A: pos, B: root.Pos()}.PointAtRatio(frac)
 		var node *clocktree.Node

@@ -20,12 +20,12 @@ import (
 type resultCache struct {
 	mu        sync.Mutex
 	maxBytes  int64
-	bytes     int64
-	order     *list.List // front = most recently used
-	items     map[string]*list.Element
-	hits      int64
-	misses    int64
-	evictions int64
+	bytes     int64                    // guarded by mu
+	order     *list.List               // guarded by mu; front = most recently used
+	items     map[string]*list.Element // guarded by mu
+	hits      int64                    // guarded by mu
+	misses    int64                    // guarded by mu
+	evictions int64                    // guarded by mu
 
 	// disk is the persistent tier; nil without a cache directory.  It has
 	// its own lock, so disk I/O never serializes memory-tier lookups.

@@ -47,17 +47,17 @@ type job struct {
 	flow  *cts.Flow
 
 	mu       sync.Mutex
-	state    JobState
-	cacheHit bool
-	log      []jobEvent
+	state    JobState   // guarded by mu
+	cacheHit bool       // guarded by mu
+	log      []jobEvent // guarded by mu
 	// notify is closed and replaced whenever the log or state changes;
 	// subscribers re-grab it via snapshotSince, so no event is ever missed.
-	notify   chan struct{}
-	result   json.RawMessage
-	errMsg   string
+	notify   chan struct{}   // guarded by mu
+	result   json.RawMessage // guarded by mu
+	errMsg   string          // guarded by mu
 	created  time.Time
-	started  time.Time
-	finished time.Time
+	started  time.Time // guarded by mu
+	finished time.Time // guarded by mu
 }
 
 func newJob(id string, req JobRequest, key string, flow *cts.Flow, sinks []cts.Sink, priority Priority, deadline time.Time) *job {

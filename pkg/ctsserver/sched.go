@@ -28,13 +28,13 @@ type scheduler struct {
 	expireQueued func(*job) bool
 
 	mu         sync.Mutex
-	cond       *sync.Cond // signals workers when the heap grows or intake closes
-	queue      jobQueue
-	seq        int64 // submission order, the final dispatch tiebreak
-	queuedLive int   // queued jobs that are not yet terminal
-	byPriority [numPriorities]int
-	running    int
-	draining   bool
+	cond       *sync.Cond         // signals workers when the heap grows or intake closes
+	queue      jobQueue           // guarded by mu
+	seq        int64              // guarded by mu; submission order, the final dispatch tiebreak
+	queuedLive int                // guarded by mu; queued jobs that are not yet terminal
+	byPriority [numPriorities]int // guarded by mu
+	running    int                // guarded by mu
+	draining   bool               // guarded by mu
 
 	wg        sync.WaitGroup
 	submitted atomic.Int64

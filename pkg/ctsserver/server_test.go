@@ -238,11 +238,11 @@ func TestValidationErrors(t *testing.T) {
 
 	sink := func(name string, x, y float64) Sink { return Sink{Name: name, X: x, Y: y} }
 	cases := []struct {
-		name     string
-		req      JobRequest
-		status   int
-		code     string
-		sinkIdx  int // -1: no sink index expected
+		name    string
+		req     JobRequest
+		status  int
+		code    string
+		sinkIdx int // -1: no sink index expected
 	}{
 		{"empty", JobRequest{}, 400, cts.SinkErrEmpty, -1},
 		{"duplicate", JobRequest{Sinks: []Sink{sink("a", 0, 0), sink("a", 5, 5)}}, 400, cts.SinkErrDuplicateName, 1},

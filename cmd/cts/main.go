@@ -13,6 +13,7 @@
 //	cts -bench r3 -metrics             # per-stage counters/histograms on stderr
 //	cts -bench r4 -parallelism 8       # bound the intra-run merge fan-out
 //	cts -bench r5 -topology bipartition  # recursive-geometric pairing strategy
+//	cts -bench r4 -routing hierarchical  # coarse-corridor merge routing
 //	cts -bench r1 -server http://127.0.0.1:8155   # submit to a ctsd instance
 //
 // With -server the sink set is submitted to a running ctsd (see cmd/ctsd)
@@ -83,6 +84,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		jsonOut    = fs.Bool("json", false, "print the cts.Result JSON instead of the human-readable report")
 		progress   = fs.Bool("progress", false, "render pipeline progress to stderr (live status line on a terminal)")
 		topo       = fs.String("topology", "greedy", "pairing strategy: greedy (indexed, the paper's matching) or bipartition")
+		routing    = fs.String("routing", "flat", "merge-routing strategy: flat (full-resolution maze) or hierarchical (coarse corridor + refinement)")
 		metrics    = fs.Bool("metrics", false, "print per-stage counters and elapsed histograms to stderr after the run")
 		par        = fs.Int("parallelism", 0, "intra-run merge fan-out workers per level (0 = GOMAXPROCS, 1 = sequential)")
 		serverURL  = fs.String("server", "", "submit to a ctsd instance at this base URL instead of synthesizing locally")
@@ -120,6 +122,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("unknown topology strategy %q (want greedy, bipartition)", *topo)
 	}
+	routeStrategy, err := cts.ParseRoutingStrategy(*routing)
+	if err != nil {
+		return fmt.Errorf("unknown routing strategy %q (want flat, hierarchical)", *routing)
+	}
 
 	if *serverURL != "" {
 		// The synthesis runs remotely: deck writing needs the local tree,
@@ -148,6 +154,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			GridSize:   *gridSize,
 			Correction: mode,
 			Topology:   strategy,
+			Routing:    routeStrategy,
 		}
 		return runRemote(ctx, *serverURL, bm, settings, remoteOptions{
 			verify:   !*noVerify,
@@ -172,6 +179,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cts.WithGrid(*gridSize),
 		cts.WithCorrection(mode),
 		cts.WithTopologyStrategy(strategy),
+		cts.WithRoutingStrategy(routeStrategy),
 		cts.WithParallelism(*par),
 	}
 	if !*noVerify {

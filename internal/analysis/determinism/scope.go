@@ -14,6 +14,13 @@ package determinism
 // multiple channels on a result path without an explicit, justified
 // //ctslint:allow directive.  ARCHITECTURE.md's "Static analysis layer"
 // section documents the workflow around this list.
+//
+// The list is of whole packages, so new files in a scoped package are bound
+// automatically: internal/mergeroute's hierarchical routing path
+// (hierarchical.go) and pooled scratch arena (arena.go) are covered by the
+// mergeroute entry, and pkg/cts's RoutingStrategy plumbing by the pkg/cts
+// entry — both carry the run-to-run determinism contract (hierarchical
+// routing is versioned via Settings.Routing in the cache key, not exempted).
 var ScopedPackages = []string{
 	"repro/internal/dme",
 	"repro/internal/geom",

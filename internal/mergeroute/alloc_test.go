@@ -1,0 +1,53 @@
+package mergeroute
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// mergeAllocCeiling is the pinned allocation budget of one steady-state
+// Merge call on a ~2 mm pair at the default grid.  The pooled scratch arena
+// keeps the maze itself allocation-free, so what remains is the merged tree
+// escaping to the caller: path nodes, inserted buffers, snaking segments and
+// the per-call working copies.  Measured ~201 allocs/op after the arena work
+// (down from ~8,900 before it); the ceiling leaves headroom for library or
+// runtime drift but fails long before a per-cell or per-pop allocation can
+// sneak back into the expansion loop.
+const mergeAllocCeiling = 450
+
+// TestMergeAllocationsStayPooled is the regression guard of the zero-alloc
+// inner-loop work: allocations per Merge with the pooled arena must stay
+// under mergeAllocCeiling.  A per-relaxation allocation would add thousands
+// per call (the default grid relaxes ~2,100 cells twice) and trip this
+// immediately.
+func TestMergeAllocationsStayPooled(t *testing.T) {
+	tt := tech.Default()
+	m, err := New(tt, Config{Lib: charlib.NewAnalytic(tt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the memo cache and the scratch pool so the measurement sees the
+	// steady state, not first-call growth.
+	warmA := SinkSubtree("a", geom.Pt(0, 0), tt.SinkCapDefault)
+	warmB := SinkSubtree("b", geom.Pt(1000, 1000), tt.SinkCapDefault)
+	if _, err := m.Merge(context.Background(), warmA, warmB); err != nil {
+		t.Fatal(err)
+	}
+
+	allocs := testing.AllocsPerRun(20, func() {
+		a := SinkSubtree("a", geom.Pt(0, 0), tt.SinkCapDefault)
+		b := SinkSubtree("b", geom.Pt(1000, 1000), tt.SinkCapDefault)
+		if _, err := m.Merge(context.Background(), a, b); err != nil {
+			t.Error(err)
+		}
+	})
+	if allocs > mergeAllocCeiling {
+		t.Errorf("Merge allocates %.0f objects per call, over the pinned ceiling %d — "+
+			"did a per-cell allocation return to the maze loop?", allocs, mergeAllocCeiling)
+	}
+	t.Logf("Merge allocations per call: %.0f (ceiling %d)", allocs, mergeAllocCeiling)
+}

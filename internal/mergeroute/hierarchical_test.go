@@ -1,0 +1,201 @@
+package mergeroute
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/clocktree"
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// hierWireBound is the documented wirelength contract of the hierarchical
+// strategy: over the 200-instance property corpus below, the hierarchical
+// tree's total wire stays within this factor of the flat tree's.  The
+// corridor restriction can pick a different merge cell than the flat
+// expansion, so the trees are not bit-identical — this bound is what
+// "within a small wirelength bound of flat" means, and tightening or
+// loosening it is an API-visible contract change.
+const hierWireBound = 1.10
+
+// corpusRand is a tiny deterministic LCG so the corpus is identical on every
+// run and platform (math/rand would also work seeded, but an explicit
+// generator keeps the determinism contract self-evident).
+type corpusRand uint64
+
+func (r *corpusRand) next() float64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return float64(uint32(*r>>33)) / (1 << 32)
+}
+
+// wireBelow sums the routed wire length of the sub-tree.
+func wireBelow(root *clocktree.Node) float64 {
+	total := 0.0
+	clocktree.Walk(root, func(n *clocktree.Node) { total += n.WireLen })
+	return total
+}
+
+// buffersBelow counts placed buffers in the sub-tree.
+func buffersBelow(root *clocktree.Node) int {
+	n := 0
+	clocktree.Walk(root, func(nd *clocktree.Node) {
+		if nd.Buffer != nil {
+			n++
+		}
+	})
+	return n
+}
+
+// TestHierarchicalPropertyCorpus is the property test of the hierarchical
+// routing contract over 200 generated merge instances spanning co-located to
+// ~20 mm diagonal separations (the large ones exercise the corridor path,
+// the small ones its flat fallback):
+//
+//  1. hierarchical routing is deterministic: merging the same pair twice
+//     yields bit-identical delays, positions, wirelength and buffer counts;
+//  2. the hierarchical tree's wirelength stays within hierWireBound of the
+//     flat tree's on every instance.
+func TestHierarchicalPropertyCorpus(t *testing.T) {
+	tt := tech.Default()
+	lib := charlib.NewAnalytic(tt)
+	flat, err := New(tt, Config{Lib: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := New(tt, Config{Lib: lib, Hierarchical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := corpusRand(20260807)
+	mkPair := func(ax, ay, bx, by, capA, capB, headB float64) (*Subtree, *Subtree) {
+		a := SinkSubtree("a", geom.Pt(ax, ay), capA)
+		b := SinkSubtree("b", geom.Pt(bx, by), capB)
+		b.MinDelay, b.MaxDelay = headB, headB
+		return a, b
+	}
+
+	worst := 0.0
+	for i := 0; i < 200; i++ {
+		ax, ay := rng.next()*2000, rng.next()*2000
+		// Mostly diagonal separations so the routing box is wide in both
+		// dimensions and the grid crosses the hierarchical threshold.
+		sep := 500 + rng.next()*19500
+		bx, by := ax+sep*(0.4+0.6*rng.next()), ay+sep*(0.4+0.6*rng.next())
+		capA := tt.SinkCapDefault * (0.5 + rng.next())
+		capB := tt.SinkCapDefault * (0.5 + rng.next())
+		headB := rng.next() * 40
+
+		fa, fb := mkPair(ax, ay, bx, by, capA, capB, headB)
+		mf, err := flat.Merge(context.Background(), fa, fb)
+		if err != nil {
+			t.Fatalf("instance %d: flat merge: %v", i, err)
+		}
+		ha, hb := mkPair(ax, ay, bx, by, capA, capB, headB)
+		mh, err := hier.Merge(context.Background(), ha, hb)
+		if err != nil {
+			t.Fatalf("instance %d: hierarchical merge: %v", i, err)
+		}
+		ha2, hb2 := mkPair(ax, ay, bx, by, capA, capB, headB)
+		mh2, err := hier.Merge(context.Background(), ha2, hb2)
+		if err != nil {
+			t.Fatalf("instance %d: hierarchical re-merge: %v", i, err)
+		}
+
+		// Property 1: run-to-run determinism, bit for bit.
+		if mh.MinDelay != mh2.MinDelay || mh.MaxDelay != mh2.MaxDelay ||
+			mh.LoadCap != mh2.LoadCap || mh.Root.Pos != mh2.Root.Pos {
+			t.Fatalf("instance %d: hierarchical merge not deterministic:\n run 1: %+v\n run 2: %+v",
+				i, mh, mh2)
+		}
+		w1, w2 := wireBelow(mh.Root), wireBelow(mh2.Root)
+		if w1 != w2 || buffersBelow(mh.Root) != buffersBelow(mh2.Root) {
+			t.Fatalf("instance %d: hierarchical structure not deterministic: wire %v vs %v", i, w1, w2)
+		}
+
+		// Property 2: wirelength within the documented bound of flat.
+		wf := wireBelow(mf.Root)
+		if wf > 0 {
+			if ratio := w1 / wf; ratio > worst {
+				worst = ratio
+			}
+			if w1 > hierWireBound*wf {
+				t.Errorf("instance %d (sep %.0f um): hierarchical wire %v exceeds %.2fx flat wire %v",
+					i, sep, w1, hierWireBound, wf)
+			}
+		}
+	}
+	t.Logf("worst hierarchical/flat wirelength ratio over the corpus: %.4f", worst)
+}
+
+// TestHierarchicalFallsBackOnSmallGrids pins the fallback half of the
+// contract: below the hierarchical cell threshold the corridor machinery must
+// not engage, so a hierarchical merger's result is bit-identical to flat's.
+func TestHierarchicalFallsBackOnSmallGrids(t *testing.T) {
+	tt := tech.Default()
+	lib := charlib.NewAnalytic(tt)
+	flat, err := New(tt, Config{Lib: lib})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hier, err := New(tt, Config{Lib: lib, Hierarchical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A thin horizontal pair: the routing box is wide but short, so
+	// nx*ny stays below hierMinCells and the flat expansion runs.
+	fa := SinkSubtree("a", geom.Pt(0, 0), tt.SinkCapDefault)
+	fb := SinkSubtree("b", geom.Pt(2500, 40), tt.SinkCapDefault)
+	if g := flat.buildGrid(fa.Pos(), fb.Pos()); g.nx*g.ny >= hierMinCells {
+		t.Fatalf("test premise broken: grid %dx%d crosses the hierarchical threshold", g.nx, g.ny)
+	}
+	mf, err := flat.Merge(context.Background(), fa, fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := SinkSubtree("a", geom.Pt(0, 0), tt.SinkCapDefault)
+	hb := SinkSubtree("b", geom.Pt(2500, 40), tt.SinkCapDefault)
+	mh, err := hier.Merge(context.Background(), ha, hb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mf.MinDelay != mh.MinDelay || mf.MaxDelay != mh.MaxDelay ||
+		mf.LoadCap != mh.LoadCap || mf.Root.Pos != mh.Root.Pos ||
+		wireBelow(mf.Root) != wireBelow(mh.Root) {
+		t.Errorf("small-grid hierarchical merge differs from flat:\n flat: %+v\n hier: %+v", mf, mh)
+	}
+}
+
+// TestHierarchicalEngagesOnLargeGrids is the sanity complement: on a large
+// diagonal pair the corridor path must actually run (the grid crosses the
+// threshold) and still produce a valid, slew-clean merged tree.
+func TestHierarchicalEngagesOnLargeGrids(t *testing.T) {
+	tt := tech.Default()
+	lib := charlib.NewAnalytic(tt)
+	hier, err := New(tt, Config{Lib: lib, Hierarchical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := SinkSubtree("a", geom.Pt(0, 0), tt.SinkCapDefault)
+	b := SinkSubtree("b", geom.Pt(12000, 12000), tt.SinkCapDefault)
+	if g := hier.buildGrid(a.Pos(), b.Pos()); g.nx*g.ny < hierMinCells {
+		t.Fatalf("test premise broken: grid %dx%d below the hierarchical threshold", g.nx, g.ny)
+	}
+	merged, err := hier.Merge(context.Background(), a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := clocktree.New(tt, merged.Pos())
+	tree.Root.AddChild(merged.Root, 0)
+	tm, err := clocktree.Analyze(tree, lib, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm.WorstSlew > 100 {
+		t.Errorf("worst slew %v ps exceeds the 100 ps limit on the corridor route", tm.WorstSlew)
+	}
+	if merged.Skew() > 60 {
+		t.Errorf("merged skew %v ps; corridor routing should still balance", merged.Skew())
+	}
+}

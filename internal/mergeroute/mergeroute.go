@@ -28,7 +28,6 @@
 package mergeroute
 
 import (
-	"container/heap"
 	"context"
 	"errors"
 	"fmt"
@@ -92,7 +91,23 @@ type Config struct {
 	MaxGridSize int
 	// BinarySearchIters bounds the merge-point refinement (default 24).
 	BinarySearchIters int
+	// Hierarchical selects corridor routing: the best-first expansion first
+	// runs on a grid coarsened by CoarsenFactor, the coarse paths from both
+	// roots to the chosen coarse merge cell are dilated into a corridor, and
+	// the full-resolution expansion is restricted to corridor cells.  Grids
+	// below hierMinCells, and corridor searches that fail to produce a
+	// common merge cell, fall back to the flat expansion, so the routing
+	// always succeeds wherever flat routing would.
+	Hierarchical bool
+	// CoarsenFactor is the grid coarsening ratio of the hierarchical path
+	// (default 4): one coarse cell covers CoarsenFactor² full cells.
+	CoarsenFactor int
 }
+
+// hierMinCells is the full-grid size below which the hierarchical path is
+// not worth its two extra coarse expansions and flat routing is used
+// directly.
+const hierMinCells = 2048
 
 func (c Config) withDefaults() Config {
 	if c.SlewTarget <= 0 {
@@ -106,6 +121,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BinarySearchIters <= 0 {
 		c.BinarySearchIters = 24
+	}
+	if c.CoarsenFactor <= 1 {
+		c.CoarsenFactor = 4
 	}
 	return c
 }
@@ -233,8 +251,12 @@ func (m *Merger) Merge(ctx context.Context, a, b *Subtree) (*Subtree, error) {
 	// Stage 1: balance.
 	m.balance(&wa, &wb)
 
-	// Stage 2: bi-directional maze routing.
-	pathA, pathB, err := m.route(ctx, &wa, &wb)
+	// Stage 2: bi-directional maze routing.  The expansion state lives in a
+	// pooled scratch arena: the paths it returns are only read by finalize
+	// below, so the workspace can go back to the pool when Merge returns.
+	sc := getScratch()
+	defer putScratch(sc)
+	pathA, pathB, err := m.route(ctx, &wa, &wb, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -370,7 +392,10 @@ func (m *Merger) estimatePathDelay(dist, termCap float64) float64 {
 
 // cellState is the expansion state of one routing grid cell for one side.
 type cellState struct {
-	reached bool
+	// gen stamps the expansion generation that reached this cell; a cell is
+	// part of the current expansion only when its stamp matches (stale pool
+	// entries carry older generations and are invisible).
+	gen uint64
 	// est is the priority metric: estimated maximum sink delay if the merge
 	// buffer were placed at this cell.
 	est float64
@@ -386,9 +411,11 @@ type cellState struct {
 	lastPos geom.Point
 	// parent is the cell index this state was expanded from (-1 at the seed).
 	parent int
-	// placed, when non-nil, is a buffer that was placed while entering this
-	// cell, at position placedPos.
-	placed    *tech.Buffer
+	// placed records that a buffer (placedBuf, held by value so discarded
+	// cells cost no allocation) was inserted while entering this cell, at
+	// position placedPos.
+	placed    bool
+	placedBuf tech.Buffer
 	placedPos geom.Point
 	// placedDownMin/Max are the downstream delays at the placed buffer's
 	// input pin.
@@ -402,11 +429,11 @@ type grid struct {
 	nx, ny   int
 }
 
-func (g *grid) index(ix, iy int) int { return iy*g.nx + ix }
-func (g *grid) center(ix, iy int) geom.Point {
+func (g grid) index(ix, iy int) int { return iy*g.nx + ix }
+func (g grid) center(ix, iy int) geom.Point {
 	return geom.Pt(g.origin.X+(float64(ix)+0.5)*g.cellSize, g.origin.Y+(float64(iy)+0.5)*g.cellSize)
 }
-func (g *grid) cellOf(p geom.Point) (int, int) {
+func (g grid) cellOf(p geom.Point) (int, int) {
 	ix := int((p.X - g.origin.X) / g.cellSize)
 	iy := int((p.Y - g.origin.Y) / g.cellSize)
 	ix = clampInt(ix, 0, g.nx-1)
@@ -414,9 +441,39 @@ func (g *grid) cellOf(p geom.Point) (int, int) {
 	return ix, iy
 }
 
+// coarsen derives the hierarchical pass's coarse grid: one coarse cell
+// covers factor² full cells, and the full cell (ix, iy) maps to the coarse
+// cell (ix/factor, iy/factor) — integer arithmetic, so the mapping is exact
+// regardless of the float cell geometry.
+func (g grid) coarsen(factor int) grid {
+	return grid{
+		origin:   g.origin,
+		cellSize: g.cellSize * float64(factor),
+		nx:       (g.nx + factor - 1) / factor,
+		ny:       (g.ny + factor - 1) / factor,
+	}
+}
+
+// corridorMask restricts an expansion to full cells whose coarse cell is
+// marked.  A nil mask allows everything (the flat expansion).
+type corridorMask struct {
+	mask   []bool
+	factor int
+	nxc    int
+}
+
+func (c corridorMask) allows(ix, iy int) bool {
+	if c.mask == nil {
+		return true
+	}
+	return c.mask[(iy/c.factor)*c.nxc+ix/c.factor]
+}
+
 // route runs the two maze expansions and returns the reconstructed paths
-// from each sub-tree root to the selected merge cell.
-func (m *Merger) route(ctx context.Context, a, b *Subtree) (pathA, pathB []pathNode, err error) {
+// from each sub-tree root to the selected merge cell.  With Hierarchical
+// configured and a large enough grid it routes through a coarse corridor
+// first, falling back to the flat expansion when the corridor search fails.
+func (m *Merger) route(ctx context.Context, a, b *Subtree, sc *scratch) (pathA, pathB []pathNode, err error) {
 	dist := a.Pos().Manhattan(b.Pos())
 	rootA := pathNode{pos: a.Pos(), node: a.Root, loadCap: a.LoadCap, downMin: a.MinDelay, downMax: a.MaxDelay}
 	rootB := pathNode{pos: b.Pos(), node: b.Root, loadCap: b.LoadCap, downMin: b.MinDelay, downMax: b.MaxDelay}
@@ -424,24 +481,56 @@ func (m *Merger) route(ctx context.Context, a, b *Subtree) (pathA, pathB []pathN
 	// Tiny separations need no maze: the merge node sits between the roots.
 	g := m.buildGrid(a.Pos(), b.Pos())
 	if dist < g.cellSize || g.nx*g.ny <= 4 {
-		return []pathNode{rootA}, []pathNode{rootB}, nil
+		sc.pathA = append(sc.pathA[:0], rootA)
+		sc.pathB = append(sc.pathB[:0], rootB)
+		return sc.pathA, sc.pathB, nil
 	}
 
-	statesA, err := m.expand(ctx, g, a)
+	if m.cfg.Hierarchical && g.nx*g.ny >= hierMinCells {
+		pathA, pathB, ok, err := m.routeHierarchical(ctx, g, a, b, rootA, rootB, sc)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			return pathA, pathB, nil
+		}
+		// Corridor search failed (no common coarse or corridor-restricted
+		// merge cell): guaranteed fallback to the flat expansion below.
+	}
+	return m.routeFlat(ctx, g, a, b, rootA, rootB, sc)
+}
+
+// routeFlat is the full-resolution bi-directional expansion over the whole
+// grid — bit-identical to the pre-hierarchical router.
+func (m *Merger) routeFlat(ctx context.Context, g grid, a, b *Subtree, rootA, rootB pathNode, sc *scratch) (pathA, pathB []pathNode, err error) {
+	sc.statesA = ensureStates(sc.statesA, g.nx*g.ny)
+	sc.statesB = ensureStates(sc.statesB, g.nx*g.ny)
+	genA, err := m.expand(ctx, g, a, sc.statesA, sc, corridorMask{})
 	if err != nil {
 		return nil, nil, err
 	}
-	statesB, err := m.expand(ctx, g, b)
+	genB, err := m.expand(ctx, g, b, sc.statesB, sc, corridorMask{})
 	if err != nil {
 		return nil, nil, err
 	}
+	bestIdx := selectMergeCell(sc.statesA, sc.statesB, genA, genB)
+	if bestIdx < 0 {
+		return nil, nil, fmt.Errorf("mergeroute: maze expansion found no common merge cell for roots %v and %v",
+			a.Pos(), b.Pos())
+	}
+	sc.pathA = reconstruct(sc.statesA, bestIdx, rootA, sc.pathA, &sc.rev)
+	sc.pathB = reconstruct(sc.statesB, bestIdx, rootB, sc.pathB, &sc.rev)
+	return sc.pathA, sc.pathB, nil
+}
 
-	// Pick the grid cell with the minimum estimated skew of the merged tree;
-	// break ties with the smaller maximum latency.
+// selectMergeCell picks the grid cell reached by both expansions with the
+// minimum estimated skew of the merged tree, breaking ties with the smaller
+// maximum latency; -1 when no common cell exists.
+func selectMergeCell(statesA, statesB []cellState, genA, genB uint64) int {
 	bestIdx, bestSkew, bestLat := -1, math.Inf(1), math.Inf(1)
 	for i := range statesA {
 		sa, sb := &statesA[i], &statesB[i]
-		if !sa.reached || !sb.reached {
+		if sa.gen != genA || sb.gen != genB {
 			continue
 		}
 		skew := math.Abs(sa.est - sb.est)
@@ -450,20 +539,13 @@ func (m *Merger) route(ctx context.Context, a, b *Subtree) (pathA, pathB []pathN
 			bestIdx, bestSkew, bestLat = i, skew, lat
 		}
 	}
-	if bestIdx < 0 {
-		return nil, nil, fmt.Errorf("mergeroute: maze expansion found no common merge cell for roots %v and %v",
-			a.Pos(), b.Pos())
-	}
-
-	pathA = reconstruct(g, statesA, bestIdx, rootA)
-	pathB = reconstruct(g, statesB, bestIdx, rootB)
-	return pathA, pathB, nil
+	return bestIdx
 }
 
 // buildGrid sizes the routing grid: R cells per dimension by default, grown
 // when the pair distance is large so that grid steps stay well below the
 // maximum drivable wire length (the dynamic adjustment of Section 4.2.2).
-func (m *Merger) buildGrid(p, q geom.Point) *grid {
+func (m *Merger) buildGrid(p, q geom.Point) grid {
 	box := geom.NewRect(p, q)
 	box = box.Expand(0.08*box.LongerDim() + 10)
 	longer := box.LongerDim()
@@ -485,40 +567,26 @@ func (m *Merger) buildGrid(p, q geom.Point) *grid {
 	if ny < 2 {
 		ny = 2
 	}
-	return &grid{origin: box.Lo, cellSize: cell, nx: nx, ny: ny}
-}
-
-// expandItem is a priority queue entry for the maze expansion.
-type expandItem struct {
-	idx int
-	est float64
-}
-
-type expandQueue []expandItem
-
-func (q expandQueue) Len() int            { return len(q) }
-func (q expandQueue) Less(i, j int) bool  { return q[i].est < q[j].est }
-func (q expandQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *expandQueue) Push(x interface{}) { *q = append(*q, x.(expandItem)) }
-func (q *expandQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	item := old[n-1]
-	*q = old[:n-1]
-	return item
+	return grid{origin: box.Lo, cellSize: cell, nx: nx, ny: ny}
 }
 
 // expand runs the delay-driven maze expansion from one sub-tree root over the
 // grid, inserting buffers whenever the open segment could no longer satisfy
-// the slew target (Figure 4.4).  The context is polled every few hundred heap
-// pops — often enough that even a maxed-out grid aborts within microseconds
-// of cancellation.
-func (m *Merger) expand(ctx context.Context, g *grid, s *Subtree) ([]cellState, error) {
+// the slew target (Figure 4.4).  States go into the caller-provided slice
+// (sized g.nx*g.ny, from the scratch arena); the returned generation stamps
+// the cells this expansion reached.  A non-nil corridor mask restricts the
+// expansion to corridor cells (the hierarchical refinement pass).  The
+// context is polled every few hundred heap pops — often enough that even a
+// maxed-out grid aborts within microseconds of cancellation.
+func (m *Merger) expand(ctx context.Context, g grid, s *Subtree, states []cellState, sc *scratch, corridor corridorMask) (uint64, error) {
 	lib := m.cfg.Lib
 	target := m.cfg.SlewTarget
 	refBuf := m.tech.Buffers[len(m.tech.Buffers)/2]
 
-	states := make([]cellState, g.nx*g.ny)
+	sc.gen++
+	gen := sc.gen
+	visited := ensureVisited(sc.visited, len(states))
+	sc.visited = visited
 	// openDelay is the priority metric's estimate of the (future) merge
 	// buffer's delay through the still-open segment.  It is evaluated for
 	// every grid relaxation, so a closed-form estimate is used here; the
@@ -533,7 +601,7 @@ func (m *Merger) expand(ctx context.Context, g *grid, s *Subtree) ([]cellState, 
 	six, siy := g.cellOf(s.Pos())
 	start := g.index(six, siy)
 	seed := cellState{
-		reached: true,
+		gen:     gen,
 		baseMin: s.MinDelay, baseMax: s.MaxDelay,
 		segLen:  s.Pos().Manhattan(g.center(six, siy)),
 		loadCap: s.LoadCap,
@@ -543,20 +611,20 @@ func (m *Merger) expand(ctx context.Context, g *grid, s *Subtree) ([]cellState, 
 	seed.est = seed.baseMax + openDelay(seed.loadCap, seed.segLen)
 	states[start] = seed
 
-	pq := &expandQueue{{idx: start, est: seed.est}}
-	heap.Init(pq)
-	visited := make([]bool, len(states))
-	for pops := 0; pq.Len() > 0; pops++ {
+	pq := &sc.pq
+	pq.reset()
+	pq.push(expandItem{idx: start, est: seed.est})
+	for pops := 0; len(*pq) > 0; pops++ {
 		if pops%256 == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return 0, err
 			}
 		}
-		cur := heap.Pop(pq).(expandItem)
-		if visited[cur.idx] {
+		cur := pq.pop()
+		if visited[cur.idx] == gen {
 			continue
 		}
-		visited[cur.idx] = true
+		visited[cur.idx] = gen
 		cs := states[cur.idx]
 		cx, cy := cur.idx%g.nx, cur.idx/g.nx
 		for _, d := range [4][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
@@ -564,13 +632,16 @@ func (m *Merger) expand(ctx context.Context, g *grid, s *Subtree) ([]cellState, 
 			if nxp < 0 || nyp < 0 || nxp >= g.nx || nyp >= g.ny {
 				continue
 			}
+			if !corridor.allows(nxp, nyp) {
+				continue
+			}
 			ni := g.index(nxp, nyp)
-			if visited[ni] {
+			if visited[ni] == gen {
 				continue
 			}
 			next := cs
 			next.parent = cur.idx
-			next.placed = nil
+			next.placed = false
 			step := g.cellSize
 			newSeg := cs.segLen + step
 			curPos := g.center(cx, cy)
@@ -592,8 +663,8 @@ func (m *Merger) expand(ctx context.Context, g *grid, s *Subtree) ([]cellState, 
 					buf, pos, segUsed = m.tech.LargestBuffer(), curPos, cs.segLen
 				}
 				segTiming := lib.SingleWire(buf, cs.loadCap, target, math.Max(segUsed, 1))
-				bufCopy := buf
-				next.placed = &bufCopy
+				next.placed = true
+				next.placedBuf = buf
 				next.placedPos = pos
 				next.placedDownMin = cs.baseMin + segTiming.Total()
 				next.placedDownMax = cs.baseMax + segTiming.Total()
@@ -606,14 +677,14 @@ func (m *Merger) expand(ctx context.Context, g *grid, s *Subtree) ([]cellState, 
 				next.segLen = newSeg
 			}
 			next.est = next.baseMax + openDelay(next.loadCap, next.segLen)
-			if !states[ni].reached || next.est < states[ni].est {
-				next.reached = true
+			if states[ni].gen != gen || next.est < states[ni].est {
+				next.gen = gen
 				states[ni] = next
-				heap.Push(pq, expandItem{idx: ni, est: next.est})
+				pq.push(expandItem{idx: ni, est: next.est})
 			}
 		}
 	}
-	return states, nil
+	return gen, nil
 }
 
 // chooseBuffer implements the intelligent buffer sizing of Section 4.2.2: all
@@ -655,16 +726,21 @@ func (m *Merger) chooseBuffer(loadCap, oldSeg, newSeg float64, prevPos, frontier
 }
 
 // reconstruct walks the parent pointers from the merge cell back to the seed
-// and returns the placed nodes ordered from the sub-tree root outwards.
-func reconstruct(g *grid, states []cellState, mergeIdx int, root pathNode) []pathNode {
-	var reversed []pathNode
+// and returns the placed nodes ordered from the sub-tree root outwards, in
+// the caller's reusable path buffer (rev is the shared reversal scratch).
+// Only here do placed buffers materialize as heap copies: every pathNode on
+// the kept path escapes into the returned tree, while the (far more
+// numerous) discarded expansion states never allocate.
+func reconstruct(states []cellState, mergeIdx int, root pathNode, dst []pathNode, rev *[]pathNode) []pathNode {
+	reversed := (*rev)[:0]
 	for idx := mergeIdx; idx >= 0; idx = states[idx].parent {
-		st := states[idx]
-		if st.placed != nil {
+		st := &states[idx]
+		if st.placed {
+			buf := st.placedBuf
 			reversed = append(reversed, pathNode{
 				pos:     st.placedPos,
-				buffer:  st.placed,
-				loadCap: st.placed.InputCap,
+				buffer:  &buf,
+				loadCap: buf.InputCap,
 				downMin: st.placedDownMin,
 				downMax: st.placedDownMax,
 			})
@@ -673,7 +749,8 @@ func reconstruct(g *grid, states []cellState, mergeIdx int, root pathNode) []pat
 			break
 		}
 	}
-	path := []pathNode{root}
+	*rev = reversed
+	path := append(dst[:0], root)
 	for i := len(reversed) - 1; i >= 0; i-- {
 		path = append(path, reversed[i])
 	}

@@ -198,6 +198,69 @@ func ParseTopologyStrategy(s string) (TopologyStrategy, error) {
 	return TopologyGreedy, fmt.Errorf("cts: unknown topology strategy %q", s)
 }
 
+// RoutingStrategy selects the maze-routing path of the default merge-routing
+// stage (see WithRoutingStrategy).
+type RoutingStrategy int
+
+const (
+	// RoutingFlat is the paper's full-resolution best-first maze expansion
+	// (Section 4.2): every grid cell can be relaxed.  It is the default and
+	// its trees are bit-identical to earlier releases.
+	RoutingFlat RoutingStrategy = iota
+	// RoutingHierarchical coarsens the routing grid, finds a corridor on the
+	// coarse graph and re-routes at full resolution restricted to the
+	// corridor, falling back to the flat expansion when the corridor search
+	// fails or the grid is small.  It is deterministic run-to-run but is a
+	// distinct versioned strategy: its trees can differ from RoutingFlat
+	// within a small wirelength bound, and Settings.Routing feeds
+	// CanonicalKey so cached results never mix strategies.
+	RoutingHierarchical
+)
+
+// String implements fmt.Stringer.
+func (s RoutingStrategy) String() string {
+	switch s {
+	case RoutingFlat:
+		return "flat"
+	case RoutingHierarchical:
+		return "hierarchical"
+	default:
+		return fmt.Sprintf("routing(%d)", int(s))
+	}
+}
+
+// MarshalJSON encodes the strategy as its canonical token ("flat",
+// "hierarchical").
+func (s RoutingStrategy) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON accepts any spelling ParseRoutingStrategy accepts.
+func (s *RoutingStrategy) UnmarshalJSON(b []byte) error {
+	str := string(b)
+	if len(str) >= 2 && str[0] == '"' && str[len(str)-1] == '"' {
+		str = str[1 : len(str)-1]
+	}
+	v, err := ParseRoutingStrategy(str)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// ParseRoutingStrategy parses a strategy name as used by flags and JSON:
+// "flat" (or empty, the default) and "hierarchical".
+func ParseRoutingStrategy(s string) (RoutingStrategy, error) {
+	switch s {
+	case "flat", "":
+		return RoutingFlat, nil
+	case "hierarchical":
+		return RoutingHierarchical, nil
+	}
+	return RoutingFlat, fmt.Errorf("cts: unknown routing strategy %q", s)
+}
+
 // Item summarizes one sub-tree root for topology pairing: its position and
 // its root-to-sink latency.
 type Item struct {

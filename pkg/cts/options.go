@@ -34,6 +34,9 @@ type Settings struct {
 	// Topology selects the pairing strategy of the default topology stage
 	// (default TopologyGreedy, the paper's matching on the spatial index).
 	Topology TopologyStrategy `json:"topology"`
+	// Routing selects the maze-routing path of the default merge-routing
+	// stage (default RoutingFlat, the full-resolution expansion).
+	Routing RoutingStrategy `json:"routing"`
 }
 
 // config is the assembled Flow configuration.
@@ -100,6 +103,16 @@ func WithCorrection(mode Correction) Option {
 // the default stage entirely.
 func WithTopologyStrategy(s TopologyStrategy) Option {
 	return func(c *config) { c.settings.Topology = s }
+}
+
+// WithRoutingStrategy selects the maze-routing path of the default
+// merge-routing stage: RoutingFlat (the full-resolution expansion,
+// bit-identical to earlier releases) or RoutingHierarchical (coarse corridor
+// search plus corridor-restricted refinement, with a guaranteed fallback to
+// the flat expansion).  It has no effect when a custom stage is installed
+// with WithMergeRouter, which replaces the default stage entirely.
+func WithRoutingStrategy(s RoutingStrategy) Option {
+	return func(c *config) { c.settings.Routing = s }
 }
 
 // WithSource fixes the clock source location; without it the source is
@@ -220,6 +233,11 @@ func New(t *tech.Technology, opts ...Option) (*Flow, error) {
 	}
 	if c.library == nil {
 		c.library = charlib.NewAnalytic(t)
+	}
+	switch s.Routing {
+	case RoutingFlat, RoutingHierarchical:
+	default:
+		return nil, fmt.Errorf("cts: unknown routing strategy %v", s.Routing)
 	}
 
 	if c.topology == nil {

@@ -60,9 +60,10 @@ type correctionMergeRouter struct {
 // Merge calls of the level scheduler (see WithParallelism).
 func (f *Flow) newDefaultMergeRouter() (MergeRouter, error) {
 	merger, err := mergeroute.New(f.cfg.tech, mergeroute.Config{
-		Lib:        f.cfg.library,
-		SlewTarget: f.cfg.settings.SlewTarget,
-		GridSize:   f.cfg.settings.GridSize,
+		Lib:          f.cfg.library,
+		SlewTarget:   f.cfg.settings.SlewTarget,
+		GridSize:     f.cfg.settings.GridSize,
+		Hierarchical: f.cfg.settings.Routing == RoutingHierarchical,
 	})
 	if err != nil {
 		return nil, err

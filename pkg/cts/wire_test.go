@@ -17,11 +17,11 @@ import (
 func TestSettingsJSONRoundTrip(t *testing.T) {
 	cases := []cts.Settings{
 		{SlewLimit: 100, SlewTarget: 80, Alpha: 1, Beta: 20, GridSize: 45,
-			Correction: cts.CorrectionNone, Topology: cts.TopologyGreedy},
+			Correction: cts.CorrectionNone, Topology: cts.TopologyGreedy, Routing: cts.RoutingFlat},
 		{SlewLimit: 140, SlewTarget: 90.5, Alpha: 2.25, Beta: 0, GridSize: 61,
-			Correction: cts.CorrectionReEstimate, Topology: cts.TopologyBipartition},
+			Correction: cts.CorrectionReEstimate, Topology: cts.TopologyBipartition, Routing: cts.RoutingHierarchical},
 		{SlewLimit: 80, SlewTarget: 64, Alpha: 0.5, Beta: 40, GridSize: 33,
-			Correction: cts.CorrectionFull, Topology: cts.TopologyGreedy},
+			Correction: cts.CorrectionFull, Topology: cts.TopologyGreedy, Routing: cts.RoutingHierarchical},
 	}
 	for i, in := range cases {
 		data, err := json.Marshal(in)
@@ -38,7 +38,8 @@ func TestSettingsJSONRoundTrip(t *testing.T) {
 	}
 
 	// The enum fields travel as their canonical tokens, not as bare ints.
-	data, err := json.Marshal(cts.Settings{Correction: cts.CorrectionFull, Topology: cts.TopologyBipartition})
+	data, err := json.Marshal(cts.Settings{Correction: cts.CorrectionFull, Topology: cts.TopologyBipartition,
+		Routing: cts.RoutingHierarchical})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,6 +52,9 @@ func TestSettingsJSONRoundTrip(t *testing.T) {
 	}
 	if raw["topology"] != "bipartition" {
 		t.Errorf("topology wire token = %v, want \"bipartition\"", raw["topology"])
+	}
+	if raw["routing"] != "hierarchical" {
+		t.Errorf("routing wire token = %v, want \"hierarchical\"", raw["routing"])
 	}
 }
 

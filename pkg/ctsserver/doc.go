@@ -19,10 +19,12 @@
 // # POST /v1/jobs
 //
 // The body is a JobRequest: a sink set (required), optional cts.Settings
-// (absent fields default exactly as the cts.With… options do), an optional
-// verify marker, and the scheduling fields priority ("low", "normal",
-// "high"; absent means "normal") and deadline (RFC 3339; absent means
-// none).  Responses:
+// (absent fields default exactly as the cts.With… options do — including
+// the strategy fields topology: "greedy"/"bipartition" and routing:
+// "flat"/"hierarchical", which select the pairing and merge-routing
+// strategies and participate in the cache key), an optional verify marker,
+// and the scheduling fields priority ("low", "normal", "high"; absent
+// means "normal") and deadline (RFC 3339; absent means none).  Responses:
 //
 //	202 Accepted  the job was queued; the JobStatus carries its id
 //	200 OK        the job was born terminal: either a cache hit (state

@@ -325,6 +325,7 @@ func (s *Server) buildFlow(req JobRequest, j func() *job) (*cts.Flow, error) {
 		cts.WithGrid(set.GridSize),
 		cts.WithCorrection(set.Correction),
 		cts.WithTopologyStrategy(set.Topology),
+		cts.WithRoutingStrategy(set.Routing),
 		cts.WithParallelism(s.opts.Parallelism),
 		cts.WithObserver(func(e cts.Event) {
 			s.metrics.Observe(e)

@@ -11,7 +11,9 @@ import (
 
 	"context"
 
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/charlib"
@@ -262,13 +264,20 @@ func BenchmarkTransientVerification(b *testing.B) {
 // scheduler (cts.WithParallelism) on one scaled benchmark.  The parallelism-1
 // case is the sequential baseline; the synthesized tree is identical for
 // every width, so the ratio is pure scheduling speedup.  A recorded baseline
-// lives in BENCH_parallel.json.
+// lives in BENCH_parallel.json.  The host's core count and GOMAXPROCS are
+// emitted into the output (log line plus cores/gomaxprocs metrics on the
+// sequential case) so a recorded run is interpretable later; the widest case
+// asserts it is no slower than sequential, skipped on single-core hosts
+// where no speedup is physically possible.
 func BenchmarkFlowParallelism(b *testing.B) {
 	t := tech.Default()
 	bm, err := bench.SyntheticScaled("r1", 128)
 	if err != nil {
 		b.Fatal(err)
 	}
+	cores, maxprocs := runtime.NumCPU(), runtime.GOMAXPROCS(0)
+	b.Logf("cores=%d gomaxprocs=%d", cores, maxprocs)
+	perPar := map[int]time.Duration{}
 	for _, par := range []int{1, 2, 4, 8} {
 		flow, err := cts.New(t,
 			cts.WithLibrary(charlib.NewAnalytic(t)),
@@ -278,12 +287,29 @@ func BenchmarkFlowParallelism(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run("par_"+strconv.Itoa(par), func(b *testing.B) {
+			if par == 1 {
+				b.ReportMetric(float64(cores), "cores")
+				b.ReportMetric(float64(maxprocs), "gomaxprocs")
+			}
+			start := time.Now()
 			for i := 0; i < b.N; i++ {
 				if _, err := flow.Run(context.Background(), bm.Sinks); err != nil {
 					b.Fatal(err)
 				}
 			}
+			perPar[par] = time.Since(start) / time.Duration(b.N)
 		})
+	}
+	if cores == 1 {
+		b.Logf("single-core host: skipping the parallel-speedup assertion")
+		return
+	}
+	// On a multi-core host the widest fan-out must not lose to sequential
+	// outright; a generous 1.2x slack absorbs scheduling noise while still
+	// catching a pathological regression (e.g. lock contention serializing
+	// the level loop).
+	if seq, wide := perPar[1], perPar[8]; seq > 0 && wide > seq+seq/5 {
+		b.Errorf("parallelism 8 (%v/op) is slower than sequential (%v/op) on a %d-core host", wide, seq, cores)
 	}
 }
 

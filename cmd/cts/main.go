@@ -15,6 +15,8 @@
 //	cts -bench r5 -topology bipartition  # recursive-geometric pairing strategy
 //	cts -bench r4 -routing hierarchical  # coarse-corridor merge routing
 //	cts -bench r1 -server http://127.0.0.1:8155   # submit to a ctsd instance
+//	cts -file eco.txt -base design.txt            # local ECO run against a base design
+//	cts -bench r1 -server http://127.0.0.1:8155 -base job-ab12-3   # server-side ECO resubmission
 //
 // With -server the sink set is submitted to a running ctsd (see cmd/ctsd)
 // instead of synthesized locally; progress events stream back over SSE when
@@ -90,6 +92,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		serverURL  = fs.String("server", "", "submit to a ctsd instance at this base URL instead of synthesizing locally")
 		priority   = fs.String("priority", "", "scheduling class for -server submissions: low, normal, high (empty = normal)")
 		deadline   = fs.String("deadline", "", "RFC 3339 deadline for -server submissions; the job expires past it")
+		base       = fs.String("base", "", "incremental (ECO) base: with -server a prior job id, locally a base benchmark file or synthetic name whose sub-trees seed the run")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -161,10 +164,29 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			progress: *progress,
 			priority: prio,
 			deadline: *deadline,
+			baseJob:  *base,
 		}, stdout, stderr)
 	}
 	if *priority != "" || *deadline != "" {
 		return errors.New("-priority/-deadline only apply with -server (the local run has no scheduler)")
+	}
+
+	// Local -base: load the base design and resolve it the same way the main
+	// input resolves (an existing file loads, anything else is a synthetic
+	// benchmark name).
+	var baseBM bench.Benchmark
+	if *base != "" {
+		if _, statErr := os.Stat(*base); statErr == nil {
+			baseBM, err = bench.LoadFile(*base)
+		} else {
+			baseBM, err = bench.SyntheticScaled(*base, *maxSinks)
+		}
+		if err != nil {
+			return fmt.Errorf("loading -base: %w", err)
+		}
+		if err := cts.ValidateSinks(baseBM.Sinks); err != nil {
+			return fmt.Errorf("-base %s: %w", baseBM.Name, err)
+		}
 	}
 
 	t := tech.Default()
@@ -212,6 +234,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			}
 		}))
 	}
+	if *base != "" {
+		// The unbounded cache lives for exactly this process: base run warms
+		// it, incremental run drains it.
+		opts = append(opts, cts.WithSubtreeCache(cts.NewMemorySubtreeCache(0)))
+	}
 	flow, err := cts.New(t, opts...)
 	if err != nil {
 		return err
@@ -222,7 +249,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 			bm.Name, len(bm.Sinks), bm.Die.Width()/1000, bm.Die.Height()/1000)
 	}
 
-	res, err := flow.Run(ctx, bm.Sinks)
+	var res *cts.Result
+	if *base != "" {
+		baseRes, berr := flow.Run(ctx, baseBM.Sinks)
+		if berr != nil {
+			return fmt.Errorf("-base %s: %w", baseBM.Name, berr)
+		}
+		res, err = flow.RunIncremental(ctx, baseRes, bm.Sinks)
+	} else {
+		res, err = flow.Run(ctx, bm.Sinks)
+	}
 	if stats != nil {
 		fmt.Fprint(stderr, stats.Snapshot().Render())
 	}
@@ -239,6 +275,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	} else {
 		fmt.Fprintf(stdout, "synthesis: %d buffers (%v), %.2f mm wire, %d levels, %d flippings\n",
 			res.Stats.Buffers, res.Stats.BuffersBySize, res.Stats.TotalWire/1000, res.Levels, res.Flippings)
+		if inc := res.Incremental; inc != nil {
+			fmt.Fprintf(stdout, "incremental: reused %d sub-trees, recomputed %d merges vs base %s",
+				inc.ReusedSubtrees, inc.RecomputedMerges, baseBM.Name)
+			if d := inc.Diff; d != nil {
+				fmt.Fprintf(stdout, " (+%d -%d ~%d sinks)", d.Added, d.Removed, d.Moved)
+			}
+			fmt.Fprintln(stdout)
+		}
 		fmt.Fprintf(stdout, "library timing: worst slew %.1f ps, skew %.1f ps, latency %.1f ps\n",
 			res.Timing.WorstSlew, res.Timing.Skew, res.Timing.MaxLatency)
 		if res.Verification != nil {
@@ -268,6 +312,7 @@ type remoteOptions struct {
 	progress bool
 	priority ctsserver.Priority
 	deadline string
+	baseJob  string
 }
 
 // runRemote submits the benchmark to a ctsd instance, streams its progress
@@ -282,6 +327,7 @@ func runRemote(ctx context.Context, url string, bm bench.Benchmark, settings cts
 		Verify:   opts.verify,
 		Priority: opts.priority,
 		Deadline: opts.deadline,
+		BaseJob:  opts.baseJob,
 	})
 	if err != nil {
 		return err

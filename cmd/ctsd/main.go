@@ -56,6 +56,8 @@ func run() error {
 		cacheMB      = flag.Int64("cache-mb", 64, "memory result-cache budget in MiB (0 disables the memory tier)")
 		cacheDir     = flag.String("cache-dir", "", "directory for the persistent result-cache tier (empty = memory only)")
 		cacheDiskMB  = flag.Int64("cache-disk-mb", 1024, "disk cache budget in MiB (0 = unbounded); needs -cache-dir")
+		subtreeMB    = flag.Int64("subtree-cache-mb", 64, "subtree cache budget in MiB for incremental (baseJob) runs (0 disables incremental synthesis)")
+		subtreeDisk  = flag.Int64("subtree-cache-disk-mb", 1024, "subtree disk tier budget in MiB (0 = unbounded); needs -cache-dir")
 		par          = flag.Int("parallelism", 0, "intra-run merge fan-out per job (0 = GOMAXPROCS)")
 		maxSinks     = flag.Int("max-sinks", 0, "per-request sink limit (0 = unlimited)")
 		retention    = flag.Int("retention", 4096, "terminal jobs kept addressable for status/replay")
@@ -79,17 +81,27 @@ func run() error {
 	if *cacheDiskMB == 0 {
 		cacheDiskBytes = -1 // unbounded
 	}
+	subtreeBytes := *subtreeMB << 20
+	if *subtreeMB == 0 {
+		subtreeBytes = -1 // disabled
+	}
+	subtreeDiskBytes := *subtreeDisk << 20
+	if *subtreeDisk == 0 {
+		subtreeDiskBytes = -1 // unbounded
+	}
 	srv, err := ctsserver.New(ctsserver.Options{
-		Tech:           t,
-		Library:        lib,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		CacheBytes:     cacheBytes,
-		CacheDir:       *cacheDir,
-		CacheDiskBytes: cacheDiskBytes,
-		Parallelism:    *par,
-		MaxSinks:       *maxSinks,
-		JobRetention:   *retention,
+		Tech:                  t,
+		Library:               lib,
+		Workers:               *workers,
+		QueueDepth:            *queue,
+		CacheBytes:            cacheBytes,
+		CacheDir:              *cacheDir,
+		CacheDiskBytes:        cacheDiskBytes,
+		SubtreeCacheBytes:     subtreeBytes,
+		SubtreeCacheDiskBytes: subtreeDiskBytes,
+		Parallelism:           *par,
+		MaxSinks:              *maxSinks,
+		JobRetention:          *retention,
 	})
 	if err != nil {
 		return err

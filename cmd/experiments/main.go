@@ -30,7 +30,8 @@ func main() {
 	log.SetPrefix("experiments: ")
 
 	var (
-		only     = flag.String("only", "", "run one experiment: table5.1, table5.2, table5.3, fig1.1, fig3.2, fig3.4, fig3.6")
+		only     = flag.String("only", "", "run one experiment: table5.1, table5.2, table5.3, incremental, fig1.1, fig3.2, fig3.4, fig3.6")
+		ecoFrac  = flag.Float64("eco-frac", 0.01, "sink fraction perturbed by the incremental experiment")
 		maxSinks = flag.Int("max-sinks", 0, "truncate benchmarks to at most this many sinks (0 = full size)")
 		analytic = flag.Bool("analytic", false, "use the closed-form library instead of characterizing")
 		libPath  = flag.String("lib", "", "load a previously characterized library (JSON)")
@@ -127,6 +128,14 @@ func main() {
 	})
 	run("table5.3", func() error {
 		table, err := eval.Table53(ctx, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(table.Render())
+		return nil
+	})
+	run("incremental", func() error {
+		table, err := eval.TableIncremental(ctx, cfg, *ecoFrac)
 		if err != nil {
 			return err
 		}

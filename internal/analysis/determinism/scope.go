@@ -17,10 +17,16 @@ package determinism
 //
 // The list is of whole packages, so new files in a scoped package are bound
 // automatically: internal/mergeroute's hierarchical routing path
-// (hierarchical.go) and pooled scratch arena (arena.go) are covered by the
-// mergeroute entry, and pkg/cts's RoutingStrategy plumbing by the pkg/cts
-// entry — both carry the run-to-run determinism contract (hierarchical
-// routing is versioned via Settings.Routing in the cache key, not exempted).
+// (hierarchical.go), pooled scratch arena (arena.go) and subtree codec
+// (codec.go) are covered by the mergeroute entry, and pkg/cts's
+// RoutingStrategy plumbing plus the incremental-synthesis files
+// (incremental.go, subtreekey.go, subtreecache.go) by the pkg/cts entry.
+// The incremental path leans on this contract twice over: SubtreeKey
+// content addressing assumes a merge is a pure function of its inputs, and
+// RunIncremental's bit-identity guarantee (delta result == from-scratch
+// result) only holds if replaying the level loop against cached sub-trees
+// is deterministic.  Hierarchical routing is versioned via Settings.Routing
+// in both the result and subtree cache keys, not exempted.
 var ScopedPackages = []string{
 	"repro/internal/dme",
 	"repro/internal/geom",

@@ -16,6 +16,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -114,6 +115,19 @@ func SyntheticScaled(name string, maxSinks int) (Benchmark, error) {
 	b.Sinks = sinks
 	b.Name = fmt.Sprintf("%s(%d)", name, maxSinks)
 	return b, nil
+}
+
+// SyntheticSized builds a synthetic benchmark with exactly n sinks, for
+// scaling studies past the published sizes (the largest spec, r5, stops at
+// 3101).  The die edge grows as sqrt(n) from r5's sink density, so the
+// inter-sink wire regime — and with it the buffering behavior — stays
+// comparable across sizes.
+func SyntheticSized(n int) (Benchmark, error) {
+	if n <= 0 {
+		return Benchmark{}, fmt.Errorf("bench: synthetic size %d must be positive", n)
+	}
+	die := 20000 * math.Sqrt(float64(n)/3101)
+	return generate(spec{name: fmt.Sprintf("syn%d", n), sinks: n, die: die, seed: 300 + int64(n)}), nil
 }
 
 // generate builds the deterministic synthetic sink placement: 75% of the

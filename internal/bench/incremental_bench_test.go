@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/charlib"
+	"repro/internal/tech"
+	"repro/pkg/cts"
+)
+
+// BenchmarkIncremental measures the delta-resynthesis path against the
+// from-scratch baseline: per size, a warm subtree cache is seeded with one
+// full run, then each iteration perturbs the design (a fresh seed per
+// iteration, so no run replays the previous delta) and resynthesizes it
+// incrementally.  The "full" sub-benchmark is the from-scratch cost the
+// deltas are to be compared against; reuse/op reports the fraction of merges
+// served from the cache.  Sizes beyond 1000 sinks are skipped in -short
+// mode.  Numbers are recorded in BENCH_incremental.json.
+func BenchmarkIncremental(b *testing.B) {
+	t := tech.Default()
+	lib := charlib.NewAnalytic(t)
+	ctx := context.Background()
+	for _, size := range []int{1000, 10000, 100000} {
+		if testing.Short() && size > 1000 {
+			continue
+		}
+		// The warm-up run and the cache live inside the size's own sub-
+		// benchmark group, so -bench filters pay only for the sizes they
+		// select.
+		b.Run(fmt.Sprintf("n%d", size), func(b *testing.B) {
+			bm, err := SyntheticSized(size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The budget must hold every level's encoded sub-trees or leaf-
+			// level evictions silently turn reuse into recomputation.
+			budget := int64(256 << 20)
+			if size >= 100000 {
+				budget = 1 << 30
+			}
+			cache := cts.NewMemorySubtreeCache(budget)
+			flow, err := cts.New(t, cts.WithLibrary(lib), cts.WithSubtreeCache(cache))
+			if err != nil {
+				b.Fatal(err)
+			}
+			base, err := flow.Run(ctx, bm.Sinks)
+			if err != nil {
+				b.Fatal(err)
+			}
+
+			b.Run("full", func(b *testing.B) {
+				scratch, err := cts.New(t, cts.WithLibrary(lib))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := scratch.Run(ctx, bm.Sinks); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+
+			for _, kind := range []string{"move", "add", "drop"} {
+				for _, frac := range []float64{0.001, 0.01, 0.1} {
+					b.Run(fmt.Sprintf("%s_%g", kind, frac), func(b *testing.B) {
+						var reused, total float64
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							pb, err := Perturb(bm, kind, frac, int64(i)+1)
+							if err != nil {
+								b.Fatal(err)
+							}
+							res, err := flow.RunIncremental(ctx, base, pb.Sinks)
+							if err != nil {
+								b.Fatal(err)
+							}
+							if inc := res.Incremental; inc != nil {
+								reused += float64(inc.ReusedSubtrees)
+								total += float64(inc.ReusedSubtrees + inc.RecomputedMerges)
+							}
+						}
+						if total > 0 {
+							b.ReportMetric(reused/total, "reuse/op")
+						}
+					})
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/pkg/cts"
+)
+
+// Perturb returns an ECO-style variation of the benchmark: a deterministic
+// copy with a fraction of its sinks moved, added or dropped — the kind of
+// near-identical resubmission the incremental synthesis path
+// (cts.Flow.RunIncremental) exists for.  The original benchmark is not
+// modified.
+//
+// kind selects the edit ("move", "add" or "drop"); frac in (0, 1] is the
+// fraction of the sink count affected, rounded down but never below one
+// sink; seed selects the variation, so distinct seeds model successive ECO
+// iterations.  Moves displace a sink by up to ±1% of the die's longer
+// dimension (clamped to the die); additions place new, uniquely named sinks
+// uniformly over the die.
+func Perturb(b Benchmark, kind string, frac float64, seed int64) (Benchmark, error) {
+	if frac <= 0 || frac > 1 {
+		return Benchmark{}, fmt.Errorf("bench: perturbation fraction %v outside (0, 1]", frac)
+	}
+	n := len(b.Sinks)
+	if n == 0 {
+		return Benchmark{}, fmt.Errorf("bench: cannot perturb empty benchmark %q", b.Name)
+	}
+	k := int(float64(n) * frac)
+	if k < 1 {
+		k = 1
+	}
+	die := b.Die
+	if die.Width() <= 0 && die.Height() <= 0 {
+		die = sinkBounds(b.Sinks)
+	}
+
+	rng := rand.New(rand.NewSource(seed*1000003 + int64(n)))
+	out := b
+	out.Name = fmt.Sprintf("%s+%s_%g@%d", b.Name, kind, frac, seed)
+	out.Sinks = append([]cts.Sink(nil), b.Sinks...)
+	switch kind {
+	case "move":
+		span := die.LongerDim() * 0.01
+		for _, idx := range rng.Perm(n)[:k] {
+			s := out.Sinks[idx]
+			s.Pos = die.Clamp(geom.Pt(
+				s.Pos.X+(rng.Float64()*2-1)*span,
+				s.Pos.Y+(rng.Float64()*2-1)*span,
+			))
+			out.Sinks[idx] = s
+		}
+	case "add":
+		for i := 0; i < k; i++ {
+			out.Sinks = append(out.Sinks, cts.Sink{
+				Name: fmt.Sprintf("eco%d_%d", seed, i),
+				Pos: geom.Pt(
+					die.Lo.X+rng.Float64()*die.Width(),
+					die.Lo.Y+rng.Float64()*die.Height(),
+				),
+				Cap: 15 + rng.Float64()*15,
+			})
+		}
+	case "drop":
+		if k >= n {
+			return Benchmark{}, fmt.Errorf("bench: dropping %d of %d sinks leaves nothing to synthesize", k, n)
+		}
+		dropped := make([]bool, n)
+		for _, idx := range rng.Perm(n)[:k] {
+			dropped[idx] = true
+		}
+		kept := out.Sinks[:0]
+		for i, s := range out.Sinks {
+			if !dropped[i] {
+				kept = append(kept, s)
+			}
+		}
+		out.Sinks = kept
+	default:
+		return Benchmark{}, fmt.Errorf("bench: unknown perturbation kind %q (want move, add or drop)", kind)
+	}
+	return out, nil
+}
+
+// sinkBounds is the bounding box of the sinks, for benchmarks (e.g. parsed
+// sink lists) that carry no die rectangle.
+func sinkBounds(sinks []cts.Sink) geom.Rect {
+	r := geom.NewRect(sinks[0].Pos, sinks[0].Pos)
+	for _, s := range sinks[1:] {
+		r = r.Include(s.Pos)
+	}
+	return r
+}

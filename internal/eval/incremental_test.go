@@ -1,0 +1,32 @@
+package eval
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTableIncremental(t *testing.T) {
+	cfg := smallConfig()
+	cfg.MaxSinks = 80
+	cfg.Benchmarks = []string{"r1"}
+	table, err := TableIncremental(context.Background(), cfg, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3 (move, add, drop)", len(table.Rows))
+	}
+	for _, r := range table.Rows {
+		if !r.Identical {
+			t.Errorf("%s %s: incremental tree differs from the from-scratch run", r.Name, r.Kind)
+		}
+		if r.Reused == 0 {
+			t.Errorf("%s %s: no sub-trees reused", r.Name, r.Kind)
+		}
+	}
+	rendered := table.Render()
+	if !strings.Contains(rendered, "speedup") || !strings.Contains(rendered, "move") {
+		t.Errorf("rendering lacks expected columns:\n%s", rendered)
+	}
+}

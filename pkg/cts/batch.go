@@ -63,7 +63,7 @@ func (f *Flow) RunBatch(ctx context.Context, items []BatchItem, workers int) []B
 					results[i] = BatchResult{Name: item.Name, Err: err}
 					continue
 				}
-				res, err := f.run(ctx, item.Name, item.Sinks)
+				res, err := f.run(ctx, item.Name, item.Sinks, false)
 				results[i] = BatchResult{Name: item.Name, Result: res, Err: err}
 			}
 		}()

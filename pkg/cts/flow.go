@@ -18,12 +18,14 @@ import (
 // dispatched to a worker pool bounded by WithParallelism; the result is
 // bit-identical to a sequential run.
 func (f *Flow) Run(ctx context.Context, sinks []Sink) (*Result, error) {
-	return f.run(ctx, "", sinks)
+	return f.run(ctx, "", sinks, false)
 }
 
-// run is the shared implementation behind Run and RunBatch; item names the
-// batch item in emitted events.
-func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result, err error) {
+// run is the shared implementation behind Run, RunBatch and RunIncremental;
+// item names the batch item in emitted events.  When incremental is set (and
+// a subtree cache is configured) every merge first consults the cache by its
+// SubtreeKey; otherwise the cache, when present, is only written through.
+func (f *Flow) run(ctx context.Context, item string, sinks []Sink, incremental bool) (res *Result, err error) {
 	//ctslint:allow determinism -- elapsed-time metadata only; feeds Event.Elapsed and Result.Timing, never geometry
 	start := time.Now()
 	f.emit(Event{Kind: EventFlowStart, Item: item, Sinks: len(sinks)})
@@ -51,20 +53,33 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 
 	// Level 0: every sink is its own sub-tree.  ValidateSinks has already
 	// rejected duplicate names (including clashes with the sink_<n> defaults
-	// generated here), so the names are unique.
+	// generated here), so the names are unique.  With a subtree cache
+	// configured, track carries each sub-tree's Merkle key and effective
+	// sink subset alongside current.
+	cache := f.cfg.subtreeCache
 	current := make([]*mergeroute.Subtree, len(sinks))
+	var track []subtreeMeta
+	if cache != nil {
+		track = make([]subtreeMeta, len(sinks))
+	}
 	for i, s := range sinks {
 		if s.Name == "" {
 			s.Name = fmt.Sprintf("sink_%d", i)
 		}
-		loadCap := s.Cap
-		if loadCap <= 0 {
-			loadCap = f.cfg.tech.SinkCapDefault
+		if s.Cap <= 0 {
+			s.Cap = f.cfg.tech.SinkCapDefault
 		}
-		current[i] = mergeroute.SinkSubtree(s.Name, s.Pos, loadCap)
+		current[i] = mergeroute.SinkSubtree(s.Name, s.Pos, s.Cap)
+		if track != nil {
+			subset := []Sink{s}
+			track[i] = subtreeMeta{key: subtreeKeySorted(f.subtreePrefix, subset), sinks: subset}
+		}
 	}
 
 	res = &Result{Settings: f.cfg.settings}
+	if incremental {
+		res.Incremental = &IncrementalStats{}
+	}
 
 	// Levelized topology generation (Section 4.1.1): pair, then merge-route
 	// every pair, level by level until one tree remains.
@@ -119,11 +134,29 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 				return nil, fmt.Errorf("cts: topology level %d: sub-tree %d left unmatched", level, i)
 			}
 		}
-		merged, levelFlips, err := f.mergeLevel(ctx, merger, current, pairs)
+		var merged []*mergeroute.Subtree
+		var mergedTrack []subtreeMeta
+		var levelFlips int
+		if cache != nil {
+			merged, mergedTrack, levelFlips, err = f.mergeLevelCached(ctx, merger, current, pairs, track, incremental, res.Incremental)
+		} else {
+			var perFlips []int
+			merged, perFlips, err = f.mergeLevel(ctx, merger, current, pairs)
+			for _, fl := range perFlips {
+				levelFlips += fl
+			}
+		}
 		if err != nil {
 			return nil, err
 		}
 		next = append(next, merged...)
+		if track != nil {
+			nextTrack := make([]subtreeMeta, 0, len(mergedTrack)+1)
+			if seed >= 0 {
+				nextTrack = append(nextTrack, track[seed])
+			}
+			track = append(nextTrack, mergedTrack...)
+		}
 		f.emit(Event{Kind: EventStageEnd, Item: item, Stage: StageMergeRoute, Level: level, Elapsed: time.Since(mergeStart)})
 
 		res.Flippings += levelFlips
@@ -134,6 +167,14 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 			Subtrees: len(current), Pairs: len(pairs), Flips: levelFlips,
 			Elapsed: time.Since(topoStart),
 		})
+	}
+
+	if track != nil {
+		// Retain the synthesis-time view so this result can serve as the
+		// base of a later RunIncremental (which harvests its sub-trees into
+		// a cold cache and diffs its effective sink set).
+		res.rootSubtree = current[0]
+		res.effSinks = track[0].sinks
 	}
 
 	// Attach the clock source (with a buffered feed when it sits away from
@@ -173,10 +214,12 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink) (res *Result,
 // mergeLevel merge-routes every pair of one level.  The merges of a level are
 // independent (the levelized topology of Section 4.1.1 pairs disjoint
 // sub-trees), so the pairs are dispatched to a worker pool bounded by the
-// flow's parallelism.  Merged sub-trees are collected into their pair's slot
-// and flip counts are aggregated only after every worker has joined, so the
-// returned level is bit-identical to the sequential path for any pool width.
-func (f *Flow) mergeLevel(ctx context.Context, merger MergeRouter, current []*mergeroute.Subtree, pairs []Pairing) ([]*mergeroute.Subtree, int, error) {
+// flow's parallelism.  Merged sub-trees and their flip counts are collected
+// into their pair's slot only after every worker has joined, so the returned
+// level is bit-identical to the sequential path for any pool width.  (Flips
+// are returned per pair rather than summed because the subtree cache stores
+// each merge's flip count alongside its encoded value.)
+func (f *Flow) mergeLevel(ctx context.Context, merger MergeRouter, current []*mergeroute.Subtree, pairs []Pairing) ([]*mergeroute.Subtree, []int, error) {
 	merged := make([]*mergeroute.Subtree, len(pairs))
 	flips := make([]int, len(pairs))
 
@@ -185,18 +228,17 @@ func (f *Flow) mergeLevel(ctx context.Context, merger MergeRouter, current []*me
 		workers = len(pairs)
 	}
 	if workers <= 1 {
-		total := 0
 		for i, p := range pairs {
 			if err := ctx.Err(); err != nil {
-				return nil, 0, err
+				return nil, nil, err
 			}
 			m, fl, err := merger.Merge(ctx, current[p.A], current[p.B])
 			if err != nil {
-				return nil, 0, err
+				return nil, nil, err
 			}
-			merged[i], total = m, total+fl
+			merged[i], flips[i] = m, fl
 		}
-		return merged, total, nil
+		return merged, flips, nil
 	}
 
 	// Fan out: a failing merge cancels the level's context so the other
@@ -245,16 +287,12 @@ func (f *Flow) mergeLevel(ctx context.Context, merger MergeRouter, current []*me
 		}
 	}
 	if firstErr != nil {
-		return nil, 0, firstErr
+		return nil, nil, firstErr
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, 0, err
+		return nil, nil, err
 	}
-	total := 0
-	for _, fl := range flips {
-		total += fl
-	}
-	return merged, total, nil
+	return merged, flips, nil
 }
 
 // timedStage brackets one whole-flow stage with a context check and

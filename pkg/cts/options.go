@@ -51,6 +51,8 @@ type config struct {
 	verify     bool
 	verifyOpts spice.Options
 
+	subtreeCache SubtreeCache
+
 	topology TopologyBuilder
 	merger   MergeRouter
 	bufferer Bufferer
@@ -143,6 +145,21 @@ func WithParallelism(n int) Option {
 	return func(c *config) { c.parallelism = n }
 }
 
+// WithSubtreeCache installs a content-addressed cache of merged sub-trees,
+// keyed by SubtreeKey.  Every run of the flow writes its merges through to
+// the cache; RunIncremental additionally consults it before routing each
+// merge, reusing sub-trees unchanged since earlier runs.  The cache may be
+// shared across flows and concurrent runs, but only within one technology
+// and characterization library (the key does not cover them, exactly as
+// CanonicalKey does not).
+//
+// The option is incompatible with WithMergeRouter: cached values are the
+// default router's output, and replaying them under a different merge stage
+// would break the bit-identity contract.
+func WithSubtreeCache(sc SubtreeCache) Option {
+	return func(c *config) { c.subtreeCache = sc }
+}
+
 // WithVerification enables the verify stage: every run ends with the golden
 // transient simulation and Result.Verification is populated.
 func WithVerification(opt spice.Options) Option {
@@ -186,6 +203,11 @@ func WithVerifier(v Verifier) Option {
 // as long as any custom stages installed on it are.
 type Flow struct {
 	cfg config
+	// subtreePrefix is the precomputed settings-dependent hash prefix of
+	// SubtreeKey (set only when a subtree cache is configured): the keying
+	// hot path hashes it directly instead of re-marshaling the settings for
+	// every merge.
+	subtreePrefix []byte
 	// emitMu serializes observer invocations: events may originate from
 	// RunBatch workers and from the intra-run level scheduler, but the
 	// observer sees them one at a time, in a valid per-level order.
@@ -239,6 +261,9 @@ func New(t *tech.Technology, opts ...Option) (*Flow, error) {
 	default:
 		return nil, fmt.Errorf("cts: unknown routing strategy %v", s.Routing)
 	}
+	if c.subtreeCache != nil && c.merger != nil {
+		return nil, errors.New("cts: WithSubtreeCache requires the default merge-routing stage (cached sub-trees would not match a custom MergeRouter)")
+	}
 
 	if c.topology == nil {
 		var m topology.Matcher
@@ -261,7 +286,11 @@ func New(t *tech.Technology, opts ...Option) (*Flow, error) {
 	if c.verifier == nil {
 		c.verifier = &simVerifier{opts: c.verifyOpts}
 	}
-	return &Flow{cfg: c}, nil
+	f := &Flow{cfg: c}
+	if c.subtreeCache != nil {
+		f.subtreePrefix = subtreeKeyPrefix(c.settings)
+	}
+	return f, nil
 }
 
 // Settings returns the effective numeric parameters after defaulting.

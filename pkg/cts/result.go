@@ -2,9 +2,11 @@ package cts
 
 import (
 	"encoding/json"
+	"sync"
 	"time"
 
 	"repro/internal/clocktree"
+	"repro/internal/mergeroute"
 	"repro/internal/spice"
 )
 
@@ -27,6 +29,24 @@ type Result struct {
 	Elapsed time.Duration
 	// Settings echoes the effective flow parameters (after defaulting).
 	Settings Settings
+	// Incremental reports subtree-cache reuse when the run went through
+	// RunIncremental; nil otherwise.
+	Incremental *IncrementalStats
+
+	// rootSubtree and effSinks retain the synthesis-time view (the final
+	// merged sub-tree and the effective, defaulted sink set, in sinkLess
+	// order) when a subtree cache is configured, so this result can be
+	// harvested as the base of a later RunIncremental.
+	rootSubtree *mergeroute.Subtree
+	effSinks    []Sink
+	// harvestOnce/harvestKeys memoize harvestBase's Merkle walk: the keys
+	// are a pure function of this result's tree and settings, so repeated
+	// incremental runs against the same base skip the O(n·depth) re-hash and
+	// only top up whatever the cache has since evicted.  (RunIncremental
+	// rejects a base synthesized under different settings, so the first
+	// walk's keys are valid for every later harvest.)
+	harvestOnce sync.Once
+	harvestKeys []harvestEntry
 }
 
 // Verify runs the golden transient simulation of the synthesized tree on
@@ -78,6 +98,7 @@ type resultJSON struct {
 	Stats        statsJSON         `json:"stats"`
 	Timing       *timingJSON       `json:"timing,omitempty"`
 	Verification *verificationJSON `json:"verification,omitempty"`
+	Incremental  *IncrementalStats `json:"incremental,omitempty"`
 }
 
 // MarshalJSON serializes the run summary: effective settings, tree
@@ -85,10 +106,11 @@ type resultJSON struct {
 // structure itself is not serialized.
 func (r *Result) MarshalJSON() ([]byte, error) {
 	out := resultJSON{
-		Settings:  r.Settings,
-		Levels:    r.Levels,
-		Flippings: r.Flippings,
-		ElapsedMs: float64(r.Elapsed) / float64(time.Millisecond),
+		Settings:    r.Settings,
+		Levels:      r.Levels,
+		Flippings:   r.Flippings,
+		ElapsedMs:   float64(r.Elapsed) / float64(time.Millisecond),
+		Incremental: r.Incremental,
 		Stats: statsJSON{
 			Sinks:         r.Stats.Sinks,
 			Buffers:       r.Stats.Buffers,

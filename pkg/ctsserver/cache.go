@@ -23,7 +23,8 @@ type resultCache struct {
 	bytes     int64                    // guarded by mu
 	order     *list.List               // guarded by mu; front = most recently used
 	items     map[string]*list.Element // guarded by mu
-	hits      int64                    // guarded by mu
+	memHits   int64                    // guarded by mu
+	diskHits  int64                    // guarded by mu
 	misses    int64                    // guarded by mu
 	evictions int64                    // guarded by mu
 
@@ -55,7 +56,7 @@ func newResultCache(maxBytes int64, disk *store.Store) *resultCache {
 func (c *resultCache) get(key string) (json.RawMessage, bool) {
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
-		c.hits++
+		c.memHits++
 		c.order.MoveToFront(el)
 		data := el.Value.(*cacheEntry).data
 		c.mu.Unlock()
@@ -66,7 +67,7 @@ func (c *resultCache) get(key string) (json.RawMessage, bool) {
 	if c.disk != nil {
 		if data, ok := c.disk.Get(key); ok {
 			c.mu.Lock()
-			c.hits++
+			c.diskHits++
 			c.insertLocked(key, data)
 			c.mu.Unlock()
 			return data, true
@@ -126,12 +127,14 @@ func (c *resultCache) insertLocked(key string, data json.RawMessage) {
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()
 	st := CacheStats{
-		Entries:   len(c.items),
-		Bytes:     c.bytes,
-		MaxBytes:  c.maxBytes,
-		Hits:      c.hits,
-		Misses:    c.misses,
-		Evictions: c.evictions,
+		Entries:    len(c.items),
+		Bytes:      c.bytes,
+		MaxBytes:   c.maxBytes,
+		Hits:       c.memHits + c.diskHits,
+		MemoryHits: c.memHits,
+		DiskHits:   c.diskHits,
+		Misses:     c.misses,
+		Evictions:  c.evictions,
 	}
 	c.mu.Unlock()
 	if c.disk != nil {

@@ -23,8 +23,10 @@
 // the strategy fields topology: "greedy"/"bipartition" and routing:
 // "flat"/"hierarchical", which select the pairing and merge-routing
 // strategies and participate in the cache key), an optional verify marker,
-// and the scheduling fields priority ("low", "normal", "high"; absent
-// means "normal") and deadline (RFC 3339; absent means none).  Responses:
+// the scheduling fields priority ("low", "normal", "high"; absent means
+// "normal") and deadline (RFC 3339; absent means none), and an optional
+// baseJob id for incremental resubmission (see Incremental synthesis
+// below).  Responses:
 //
 //	202 Accepted  the job was queued; the JobStatus carries its id
 //	200 OK        the job was born terminal: either a cache hit (state
@@ -34,7 +36,12 @@
 //	400           undecodable body, sink-set validation failure (structured
 //	              cts.SinkSetError codes, with the offending sink index),
 //	              rejected settings, an unknown priority, a malformed
-//	              deadline, or a sink set over the server's -max-sinks
+//	              deadline, a sink set over the server's -max-sinks, or a
+//	              baseJob on a server whose subtree cache is disabled
+//	              (code "incremental-disabled")
+//	404           the baseJob id names a job the server does not remember
+//	              (code "unknown-base-job"; never assigned, or dropped by
+//	              retention) — resubmit without baseJob to run cold
 //	429           the queue is full; the response carries a Retry-After
 //	              header and the same hint in error.retryAfter (seconds)
 //	503           the server is draining and accepts no new work
@@ -129,4 +136,41 @@
 // Terminal jobs stay addressable (status and event replay) until the
 // retention bounds (Options.JobRetention, Options.RetainBytes) forget the
 // oldest ones.
+//
+// # Incremental synthesis (baseJob)
+//
+// A JobRequest may name an earlier job in baseJob, declaring the request a
+// small delta of that job's design (an ECO resubmission: a few sinks moved,
+// added or dropped).  The job then runs through cts.Flow.RunIncremental
+// against the server's shared subtree cache: every merged sub-tree whose
+// content key (cts.SubtreeKey over the exact sink subset, effective
+// settings and child keys) is unchanged is decoded from the cache instead
+// of re-paired and re-routed, and only the affected region recomputes.  The
+// result is bit-identical to a from-scratch run — same canonical key, same
+// tree bytes — so it caches under the same result-cache entry; only the
+// incremental block of the Result (reusedSubtrees, recomputedMerges, the
+// sink diff) and the wall time differ.
+//
+// baseJob is advisory.  An exact result-cache hit is still served first
+// (the delta may collapse to a known request), and a cold subtree cache
+// simply recomputes everything.  What the id buys is validation: it must
+// name a job the server still remembers (404 "unknown-base-job" otherwise),
+// catching stale ids and wrong-server submissions early, and the server
+// must have a subtree cache at all (400 "incremental-disabled" when ctsd
+// ran with a negative -subtree-cache-mb).  Reuse requires stable sink names
+// across base and delta — renaming a sink changes every enclosing
+// sub-tree's key.
+//
+// The subtree cache is its own two-tier structure, shared by every job:
+// plain runs write their merges through (warming it for free), incremental
+// runs read them back.  The memory tier is LRU within
+// Options.SubtreeCacheBytes; with a CacheDir, coarse sub-trees (at least
+// 16 KiB encoded) also persist to a "subtrees" directory under it, bounded
+// by Options.SubtreeCacheDiskBytes, so the expensive upper levels of
+// pre-restart work stay reusable.  The size floor exists because the disk
+// store rewrites its manifest per write — persisting every tiny
+// leaf-adjacent merge would be quadratic churn for entries that are cheap
+// to recompute anyway.  GET /v1/stats reports the tier under
+// cache.subtrees (SubtreeStats: occupancy, memoryHits/diskHits/misses,
+// evictions, and the disk store's own snapshot).
 package ctsserver

@@ -93,6 +93,22 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	if req.BaseJob != "" {
+		// baseJob is advisory — the subtree cache, not the base job's state,
+		// provides the reuse — but a dangling id is almost always a client
+		// bug (stale id, wrong server), so it is rejected rather than quietly
+		// degraded to a cold run.
+		if s.subtrees == nil {
+			writeError(w, &APIError{HTTPStatus: http.StatusBadRequest, Code: ErrIncrementalDisabled,
+				Message: "baseJob set but the server runs without a subtree cache"})
+			return
+		}
+		if _, ok := s.lookup(req.BaseJob); !ok {
+			writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrUnknownBase,
+				Message: fmt.Sprintf("unknown base job %q", req.BaseJob)})
+			return
+		}
+	}
 
 	// The flow is assembled first so the cache key hashes the *effective*
 	// settings: a request spelling out the defaults and one leaving them
@@ -111,6 +127,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := newJob(s.newJobID(), req, key, flow, sinks, priority, deadline)
+	if req.BaseJob != "" {
+		j.baseJob = req.BaseJob
+		j.incremental = true
+	}
 	if data, ok := s.cache.get(key); ok {
 		// Cache hit (memory- or disk-served): the job is born terminal and
 		// no synthesis runs.  The hit is served even past the deadline — the
@@ -240,9 +260,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 
 // handleStats implements GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	cache := s.cache.stats()
+	if s.subtrees != nil {
+		cache.Subtrees = s.subtrees.stats()
+	}
 	writeJSON(w, http.StatusOK, Stats{
 		Scheduler: s.sched.stats(),
-		Cache:     s.cache.stats(),
+		Cache:     cache,
 		Metrics:   s.metrics.Snapshot(),
 	})
 }

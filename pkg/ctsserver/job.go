@@ -28,6 +28,10 @@ type job struct {
 	key       string
 	sinkCount int
 	verify    bool
+	// baseJob/incremental route the run through the delta path when the
+	// request named a base job; both are fixed before the job is enqueued.
+	baseJob     string
+	incremental bool
 	// priority and deadline drive the dispatch order (see jobQueue.Less);
 	// both are fixed at submission.  A zero deadline means none.
 	priority Priority
@@ -154,6 +158,7 @@ func (j *job) statusLocked() JobStatus {
 		State:    j.state,
 		Priority: j.priority,
 		Deadline: rfc3339(j.deadline),
+		BaseJob:  j.baseJob,
 		Key:      j.key,
 		CacheHit: j.cacheHit,
 		Sinks:    j.sinkCount,

@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -47,6 +48,17 @@ type Options struct {
 	// entries; 0 selects 1 GiB and negative values leave the tier
 	// unbounded.  Ignored without CacheDir.
 	CacheDiskBytes int64
+	// SubtreeCacheBytes is the subtree cache's memory budget over the
+	// encoded per-merge sub-trees that back incremental (baseJob) runs;
+	// 0 selects 64 MiB and negative values disable the tier entirely
+	// (baseJob requests then answer 400 incremental-disabled).
+	SubtreeCacheBytes int64
+	// SubtreeCacheDiskBytes is the subtree disk tier's byte budget; 0
+	// selects 1 GiB and negative values leave the tier unbounded.  The disk
+	// tier lives under CacheDir ("subtrees" subdirectory) and only holds
+	// coarse sub-trees (>= 16 KiB encoded) — see the package documentation.
+	// Ignored without CacheDir.
+	SubtreeCacheDiskBytes int64
 	// Parallelism is the intra-run merge fan-out of every job's flow
 	// (cts.WithParallelism); 0 selects GOMAXPROCS.
 	Parallelism int
@@ -69,13 +81,14 @@ type Options struct {
 // job API, backed by the bounded scheduler and the content-addressed result
 // cache.  See the package documentation for the endpoint list.
 type Server struct {
-	opts    Options
-	tech    *tech.Technology
-	library *charlib.Library
-	mux     *http.ServeMux
-	sched   *scheduler
-	cache   *resultCache
-	metrics *cts.MetricsObserver
+	opts     Options
+	tech     *tech.Technology
+	library  *charlib.Library
+	mux      *http.ServeMux
+	sched    *scheduler
+	cache    *resultCache
+	subtrees *subtreeTier // nil when the subtree tier is disabled
+	metrics  *cts.MetricsObserver
 
 	mu            sync.Mutex
 	jobs          map[string]*job
@@ -113,6 +126,12 @@ func New(o Options) (*Server, error) {
 	if o.CacheDiskBytes == 0 {
 		o.CacheDiskBytes = 1 << 30
 	}
+	if o.SubtreeCacheBytes == 0 {
+		o.SubtreeCacheBytes = 64 << 20
+	}
+	if o.SubtreeCacheDiskBytes == 0 {
+		o.SubtreeCacheDiskBytes = 1 << 30
+	}
 	if o.JobRetention <= 0 {
 		o.JobRetention = 4096
 	}
@@ -134,11 +153,24 @@ func New(o Options) (*Server, error) {
 		}
 		disk = d
 	}
+	var subtrees *subtreeTier
+	if o.SubtreeCacheBytes > 0 {
+		var sdisk *store.Store
+		if o.CacheDir != "" {
+			d, err := store.Open(filepath.Join(o.CacheDir, "subtrees"), o.SubtreeCacheDiskBytes)
+			if err != nil {
+				return nil, err
+			}
+			sdisk = d
+		}
+		subtrees = newSubtreeTier(o.SubtreeCacheBytes, sdisk)
+	}
 	s := &Server{
 		opts:     o,
 		tech:     o.Tech,
 		library:  o.Library,
 		cache:    newResultCache(o.CacheBytes, disk),
+		subtrees: subtrees,
 		metrics:  cts.NewMetricsObserver(),
 		jobs:     map[string]*job{},
 		idPrefix: hex.EncodeToString(prefix[:]),
@@ -302,10 +334,18 @@ func (s *Server) execute(j *job) {
 	}
 }
 
-// runSynthesis performs the actual flow run (or the test hook).
+// runSynthesis performs the actual flow run (or the test hook).  Incremental
+// (baseJob) jobs take the delta path: the base job's sink set is gone by the
+// time a delta arrives (finish drops it to keep retention small), so the run
+// passes a nil base and leans entirely on the shared subtree cache, which
+// still holds the base run's merges.  The result is bit-identical either
+// way; only the amount of recomputation differs.
 func (s *Server) runSynthesis(j *job) (*cts.Result, error) {
 	if s.runHook != nil {
 		return s.runHook(j.ctx, j)
+	}
+	if j.incremental {
+		return j.flow.RunIncremental(j.ctx, nil, j.sinks)
 	}
 	return j.flow.Run(j.ctx, j.sinks)
 }
@@ -327,13 +367,20 @@ func (s *Server) buildFlow(req JobRequest, j func() *job) (*cts.Flow, error) {
 		cts.WithTopologyStrategy(set.Topology),
 		cts.WithRoutingStrategy(set.Routing),
 		cts.WithParallelism(s.opts.Parallelism),
+	}
+	if s.subtrees != nil {
+		// Every job shares the server's subtree tier: plain runs write their
+		// merges through (free warm-up), incremental runs read them back.
+		opts = append(opts, cts.WithSubtreeCache(s.subtrees))
+	}
+	opts = append(opts,
 		cts.WithObserver(func(e cts.Event) {
 			s.metrics.Observe(e)
 			if jb := j(); jb != nil {
 				jb.appendFlow(e.Wire())
 			}
 		}),
-	}
+	)
 	if req.Verify {
 		opts = append(opts, cts.WithVerification(spice.Options{TimeStep: s.opts.VerifyTimeStep}))
 	}

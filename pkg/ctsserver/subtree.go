@@ -1,0 +1,92 @@
+package ctsserver
+
+import (
+	"sync"
+
+	"repro/pkg/cts"
+	"repro/pkg/ctsserver/store"
+)
+
+// subtreeDiskMinBytes is the write-through size floor of the subtree disk
+// tier.  The disk store rewrites its manifest on every structural change, so
+// persisting each of a large job's thousands of tiny leaf-adjacent merges
+// would turn one synthesis into quadratic manifest churn.  Coarse sub-trees
+// are where the reuse value is — one hit near the root stands in for a whole
+// region — so only values at least this large go to disk; the memory tier
+// holds everything.
+const subtreeDiskMinBytes = 16 << 10
+
+// subtreeTier is the server's cts.SubtreeCache: a memory LRU over encoded
+// sub-trees, with optional write-through of coarse entries to a disk store
+// (a "subtrees" directory under the result cache's CacheDir), so the
+// expensive upper levels of pre-restart work stay reusable.  One tier is
+// shared by every job's flow, which is what makes cross-job incremental
+// resubmission (the baseJob field) work: the base job's merges are already
+// in the cache when the delta job runs.
+type subtreeTier struct {
+	mem  *cts.MemorySubtreeCache
+	disk *store.Store // nil without a cache directory
+
+	mu       sync.Mutex
+	memHits  int64 // guarded by mu
+	diskHits int64 // guarded by mu
+	misses   int64 // guarded by mu
+}
+
+func newSubtreeTier(maxBytes int64, disk *store.Store) *subtreeTier {
+	return &subtreeTier{mem: cts.NewMemorySubtreeCache(maxBytes), disk: disk}
+}
+
+// Get implements cts.SubtreeCache: memory first, then disk, promoting disk
+// hits into the memory tier.
+func (t *subtreeTier) Get(key string) ([]byte, bool) {
+	if v, ok := t.mem.Get(key); ok {
+		t.mu.Lock()
+		t.memHits++
+		t.mu.Unlock()
+		return v, true
+	}
+	if t.disk != nil {
+		if v, ok := t.disk.Get(key); ok {
+			t.mem.Put(key, v)
+			t.mu.Lock()
+			t.diskHits++
+			t.mu.Unlock()
+			return v, true
+		}
+	}
+	t.mu.Lock()
+	t.misses++
+	t.mu.Unlock()
+	return nil, false
+}
+
+// Put implements cts.SubtreeCache: everything goes to memory, coarse values
+// also write through to disk.
+func (t *subtreeTier) Put(key string, value []byte) {
+	t.mem.Put(key, value)
+	if t.disk != nil && len(value) >= subtreeDiskMinBytes {
+		t.disk.Put(key, value)
+	}
+}
+
+// stats snapshots the tier for GET /v1/stats.
+func (t *subtreeTier) stats() *SubtreeStats {
+	ms := t.mem.Stats()
+	t.mu.Lock()
+	st := &SubtreeStats{
+		Entries:    ms.Entries,
+		Bytes:      ms.Bytes,
+		MaxBytes:   ms.MaxBytes,
+		MemoryHits: t.memHits,
+		DiskHits:   t.diskHits,
+		Misses:     t.misses,
+		Evictions:  ms.Evictions,
+	}
+	t.mu.Unlock()
+	if t.disk != nil {
+		ds := t.disk.Stats()
+		st.Disk = &ds
+	}
+	return st
+}

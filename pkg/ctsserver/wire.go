@@ -125,6 +125,18 @@ type JobRequest struct {
 	// terminates as StateExpired.  The deadline does not participate in the
 	// result-cache key, and a cache hit is served regardless of it.
 	Deadline string `json:"deadline,omitempty"`
+	// BaseJob, when non-empty, names an earlier job this request is a small
+	// delta of (an ECO resubmission: a few sinks moved, added or dropped).
+	// The job then runs through the incremental path, reusing every merged
+	// sub-tree of prior work whose content key is unchanged; the result is
+	// bit-identical to a from-scratch run and caches under the same key.
+	// BaseJob is advisory — an exact result-cache hit is still served first,
+	// and a cold subtree cache just recomputes everything — but the id must
+	// name a job the server still remembers (404 unknown-base-job otherwise),
+	// and the server must have a subtree cache (400 incremental-disabled
+	// otherwise).  Reuse needs stable sink names across base and delta:
+	// renamed sinks change every enclosing sub-tree's key.
+	BaseJob string `json:"baseJob,omitempty"`
 }
 
 // JobState is the lifecycle state of a job.
@@ -171,6 +183,8 @@ type JobStatus struct {
 	// Deadline echoes the request's deadline as RFC 3339, empty when none
 	// was set.
 	Deadline string `json:"deadline,omitempty"`
+	// BaseJob echoes the request's base-job id for incremental runs.
+	BaseJob string `json:"baseJob,omitempty"`
 	// Key is the content-addressed identity of the request
 	// (cts.CanonicalKey over the effective settings and sinks).
 	Key string `json:"key"`
@@ -207,6 +221,12 @@ const (
 	ErrQueueFull = "queue-full"
 	// ErrDraining: the server is shutting down and rejects new work.
 	ErrDraining = "draining"
+	// ErrUnknownBase: the request's baseJob names a job the server does not
+	// remember (never assigned, or already dropped by retention).
+	ErrUnknownBase = "unknown-base-job"
+	// ErrIncrementalDisabled: the request set baseJob but the server runs
+	// without a subtree cache (SubtreeCacheBytes < 0).
+	ErrIncrementalDisabled = "incremental-disabled"
 )
 
 // retryAfterSeconds is the Retry-After hint on 429 queue-full responses: a
@@ -288,10 +308,42 @@ type CacheStats struct {
 	Bytes int64 `json:"bytes"`
 	// MaxBytes is the memory tier's byte budget (<= 0: tier disabled).
 	MaxBytes int64 `json:"maxBytes"`
-	// Hits counts lookups answered by either tier; the disk tier's own
-	// counters (Disk.Hits) isolate the ones the memory tier missed.
+	// Hits counts lookups answered by either tier (MemoryHits + DiskHits;
+	// kept for wire compatibility with pre-split clients).
 	Hits int64 `json:"hits"`
+	// MemoryHits counts lookups the in-memory tier answered directly.
+	MemoryHits int64 `json:"memoryHits"`
+	// DiskHits counts lookups the memory tier missed but the disk tier
+	// answered (each also promotes the entry back into memory).
+	DiskHits int64 `json:"diskHits"`
 	// Misses counts lookups neither tier could answer.
+	Misses int64 `json:"misses"`
+	// Evictions counts memory-tier LRU evictions.
+	Evictions int64 `json:"evictions"`
+	// Disk is the disk tier's snapshot; nil when the server runs without a
+	// cache directory.
+	Disk *store.Stats `json:"disk,omitempty"`
+	// Subtrees is the subtree tier backing incremental (baseJob) runs; nil
+	// when the server runs with the tier disabled.
+	Subtrees *SubtreeStats `json:"subtrees,omitempty"`
+}
+
+// SubtreeStats summarizes the subtree cache tier for GET /v1/stats: the
+// per-merge sub-tree values behind incremental (baseJob) synthesis.  Counter
+// semantics mirror CacheStats, but per sub-tree lookup rather than per job.
+type SubtreeStats struct {
+	// Entries/Bytes/MaxBytes describe the in-memory tier's occupancy.
+	Entries int `json:"entries"`
+	// Bytes is the memory tier's current total over encoded sub-trees.
+	Bytes int64 `json:"bytes"`
+	// MaxBytes is the memory tier's byte budget (<= 0: unbounded).
+	MaxBytes int64 `json:"maxBytes"`
+	// MemoryHits counts sub-tree lookups the memory tier answered.
+	MemoryHits int64 `json:"memoryHits"`
+	// DiskHits counts lookups answered by the disk tier (and promoted).
+	DiskHits int64 `json:"diskHits"`
+	// Misses counts lookups neither tier could answer (each one is a merge
+	// recomputed from scratch).
 	Misses int64 `json:"misses"`
 	// Evictions counts memory-tier LRU evictions.
 	Evictions int64 `json:"evictions"`

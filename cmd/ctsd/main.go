@@ -1,7 +1,8 @@
 // Command ctsd is the long-lived clock-tree-synthesis service: an HTTP JSON
-// job API over repro/pkg/ctsserver with streaming progress events and a
-// content-addressed result cache.  See the package documentation of
-// repro/pkg/ctsserver for the endpoint list.
+// job API over repro/pkg/ctsserver with streaming progress events, a
+// content-addressed result cache, Prometheus metrics on GET /metrics and
+// per-job trace spans on GET /v1/jobs/{id}/trace.  See the package
+// documentation of repro/pkg/ctsserver for the endpoint list.
 //
 // Usage:
 //
@@ -10,11 +11,22 @@
 //	ctsd -workers 8 -queue 128 -cache-mb 256
 //	ctsd -cache-dir /var/lib/ctsd -cache-disk-mb 4096  # cache survives restarts
 //	ctsd -addr 127.0.0.1:0 -addr-file /tmp/ctsd.addr   # write the bound address
+//	ctsd -log-level debug                 # per-request and per-job debug logs
+//	ctsd -pprof-addr 127.0.0.1:6060       # opt-in net/http/pprof listener
 //
 // With -cache-dir the result cache gains a disk tier: completed results are
 // written through to the directory (one compressed file per canonical key)
 // and read back on memory misses, so a restarted ctsd answers resubmissions
 // of pre-restart jobs from disk without running synthesis.
+//
+// Logs are structured (log/slog): one line per HTTP request (debug level),
+// per job admission and per terminal job transition, each carrying the job
+// id, canonical key, state and durations.  -log-level selects the floor
+// (debug, info, warn, error; default info).
+//
+// With -pprof-addr the standard net/http/pprof handlers are served on a
+// separate listener, so profiling stays off the public API surface and is
+// strictly opt-in.
 //
 // On SIGINT/SIGTERM the server drains gracefully: intake stops (new
 // submissions answer 503, /healthz flips to 503) and every accepted job
@@ -26,9 +38,10 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -40,11 +53,55 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ctsd: ")
 	if err := run(); err != nil {
-		log.Fatal(err)
+		fmt.Fprintf(os.Stderr, "ctsd: %v\n", err)
+		os.Exit(1)
 	}
+}
+
+// parseLogLevel maps the -log-level flag onto a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info", "":
+		return slog.LevelInfo, nil
+	case "warn":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -log-level %q (want debug, info, warn, error)", s)
+}
+
+// statusRecorder captures the response status for the request log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards streaming flushes (the SSE endpoint requires it).
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// requestLog wraps a handler with a one-line debug log per request.
+func requestLog(log *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		log.Debug("request",
+			"method", r.Method, "path", r.URL.Path, "status", rec.status,
+			"elapsed", time.Since(start).Round(time.Microsecond))
+	})
 }
 
 func run() error {
@@ -64,8 +121,16 @@ func run() error {
 		analytic     = flag.Bool("analytic", false, "use the closed-form library instead of characterizing")
 		libPath      = flag.String("lib", "", "load a previously characterized library (JSON)")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long a drain waits before canceling jobs")
+		logLevel     = flag.String("log-level", "info", "log floor: debug, info, warn, error")
+		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
+
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	t := tech.Default()
 	lib, err := charlib.Select(t, *analytic, *libPath)
@@ -102,12 +167,34 @@ func run() error {
 		Parallelism:           *par,
 		MaxSinks:              *maxSinks,
 		JobRetention:          *retention,
+		Logger:                log,
 	})
 	if err != nil {
 		return err
 	}
 	if *cacheDir != "" {
-		log.Printf("persistent result cache in %s", *cacheDir)
+		log.Info("persistent result cache enabled", "dir", *cacheDir)
+	}
+
+	if *pprofAddr != "" {
+		// pprof gets its own mux and listener: profiling endpoints never
+		// leak onto the public API address.
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("listening for pprof: %w", err)
+		}
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Info("pprof listening", "addr", pln.Addr().String())
+		go func() {
+			if err := http.Serve(pln, pmux); err != nil {
+				log.Warn("pprof server exited", "error", err)
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -115,14 +202,14 @@ func run() error {
 		return err
 	}
 	bound := ln.Addr().String()
-	log.Printf("listening on %s", bound)
+	log.Info("listening", "addr", bound)
 	if *addrFile != "" {
 		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
 			return fmt.Errorf("writing -addr-file: %w", err)
 		}
 	}
 
-	httpSrv := &http.Server{Handler: srv}
+	httpSrv := &http.Server{Handler: requestLog(log, srv)}
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
 
@@ -134,11 +221,11 @@ func run() error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("signal received, draining (timeout %v)", *drainTimeout)
+	log.Info("signal received, draining", "timeout", *drainTimeout)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := srv.Drain(drainCtx); err != nil {
-		log.Printf("drain canceled remaining jobs: %v", err)
+		log.Warn("drain canceled remaining jobs", "error", err)
 	}
 	// The drain context may already be spent; give the HTTP shutdown its
 	// own grace window to flush in-flight responses (the canceled jobs'
@@ -146,8 +233,8 @@ func run() error {
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shutCancel()
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
-		log.Printf("shutdown closed lingering connections: %v", err)
+		log.Warn("shutdown closed lingering connections", "error", err)
 	}
-	log.Printf("drained, exiting")
+	log.Info("drained, exiting")
 	return nil
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/charlib"
+	"repro/internal/tech"
+	"repro/pkg/ctsserver"
+)
+
+func TestParseMix(t *testing.T) {
+	m, err := parseMix("low:1,normal:3,high:1")
+	if err != nil || len(m) != 3 {
+		t.Fatalf("parseMix: %v, %v", m, err)
+	}
+	if m[1].p != ctsserver.PriorityNormal || m[1].w != 3 {
+		t.Fatalf("parseMix middle entry: %+v", m[1])
+	}
+	// Zero-weight entries drop out of the draw.
+	m, err = parseMix("low:0,high:2")
+	if err != nil || len(m) != 1 || m[0].p != ctsserver.PriorityHigh {
+		t.Fatalf("parseMix with zero weight: %v, %v", m, err)
+	}
+	for _, bad := range []string{"", "low", "low:x", "low:-1", "urgent:1", "low:0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseFlagsRejects(t *testing.T) {
+	for _, args := range [][]string{
+		{"-qps", "0"},
+		{"-duration", "0s"},
+		{"-sinks-min", "1"},
+		{"-sinks-min", "32", "-sinks-max", "8"},
+		{"-mix", "bogus"},
+	} {
+		if _, err := parseFlags(args); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+	cfg, err := parseFlags([]string{"-addr", "http://x:1/", "-qps", "5"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != "http://x:1" || cfg.qps != 5 {
+		t.Fatalf("parseFlags defaults: %+v", cfg)
+	}
+}
+
+// TestRunSmoke drives the full harness against an in-process server: a short
+// burst of load, both strict /metrics scrapes, the queue drain and the SLO
+// report.
+func TestRunSmoke(t *testing.T) {
+	te := tech.Default()
+	srv, err := ctsserver.New(ctsserver.Options{
+		Tech:    te,
+		Library: charlib.NewAnalytic(te),
+		Workers: 2, QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	cfg := config{
+		addr: ts.URL, qps: 100, duration: 250 * time.Millisecond,
+		sinksMin: 4, sinksMax: 8,
+		mix:  []weightedPriority{{ctsserver.PriorityLow, 1}, {ctsserver.PriorityNormal, 3}, {ctsserver.PriorityHigh, 1}},
+		seed: 1, wait: 30 * time.Second, span: 1000, reqTimout: 10 * time.Second,
+	}
+	var buf bytes.Buffer
+	if err := run(cfg, &buf); err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if strings.Contains(out, "warning:") {
+		t.Fatalf("run left warnings:\n%s", out)
+	}
+	for _, want := range []string{"ctsload:", "accepted", "queue-wait p50/p99", "e2e p50/p99", "normal"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report lacks %q:\n%s", want, out)
+		}
+	}
+}

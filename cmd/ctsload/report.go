@@ -1,0 +1,105 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/obs"
+	"repro/pkg/ctsserver"
+)
+
+// diffHistogram subtracts a baseline scrape from a final one bucket by
+// bucket, so the report covers only the jobs this run produced even against
+// a long-lived daemon.  A missing baseline series (first load against a
+// fresh server) diffs against zero; mismatched bounds (a restarted server
+// with different buckets mid-run) fall back to the final snapshot.
+func diffHistogram(before, after *obs.ParsedMetrics, name string, labels map[string]string) *obs.ParsedHistogram {
+	fin, ok := after.Histogram(name, labels)
+	if !ok {
+		return &obs.ParsedHistogram{}
+	}
+	base, ok := before.Histogram(name, labels)
+	if !ok {
+		return fin
+	}
+	if len(base.Bounds) != len(fin.Bounds) || len(base.Counts) != len(fin.Counts) {
+		return fin
+	}
+	d := &obs.ParsedHistogram{
+		Bounds: fin.Bounds,
+		Counts: make([]uint64, len(fin.Counts)),
+		Sum:    fin.Sum - base.Sum,
+		Count:  fin.Count - base.Count,
+	}
+	for i := range fin.Counts {
+		if fin.Counts[i] >= base.Counts[i] {
+			d.Counts[i] = fin.Counts[i] - base.Counts[i]
+		}
+	}
+	return d
+}
+
+// diffValue subtracts a counter sample across the two scrapes.
+func diffValue(before, after *obs.ParsedMetrics, name string, labels map[string]string) float64 {
+	fin, ok := after.Value(name, labels)
+	if !ok {
+		return 0
+	}
+	base, _ := before.Value(name, labels)
+	return fin - base
+}
+
+// fmtSeconds renders a latency in a human scale.
+func fmtSeconds(s float64) string {
+	return time.Duration(s * float64(time.Second)).Round(10 * time.Microsecond).String()
+}
+
+// report prints the SLO summary from the differenced scrapes and the
+// client-side submission tallies.
+func report(out io.Writer, cfg config, c *counts, elapsed time.Duration, before, after *obs.ParsedMetrics) {
+	c.mu.Lock()
+	accepted := 0
+	for _, n := range c.accepted {
+		accepted += n
+	}
+	rejected, failed := c.rejected, c.failed
+	c.mu.Unlock()
+
+	submitted := accepted + rejected + failed
+	expired := diffValue(before, after, "ctsd_jobs_terminal_total", map[string]string{"state": "expired"})
+	failedJobs := diffValue(before, after, "ctsd_jobs_terminal_total", map[string]string{"state": "failed"})
+	cacheHits := diffValue(before, after, "ctsd_job_cache_hits_total", nil)
+
+	fmt.Fprintf(out, "ctsload: %v at %.4g qps -> %d submitted, %d accepted (%.4g/s achieved)\n",
+		cfg.duration, cfg.qps, submitted, accepted, float64(accepted)/elapsed.Seconds())
+	fmt.Fprintf(out, "  429 queue-full: %d (%.1f%% of submissions)", rejected, pct(rejected, submitted))
+	fmt.Fprintf(out, "; expired: %.0f (%.1f%%)", expired, pct(int(expired), submitted))
+	fmt.Fprintf(out, "; failed jobs: %.0f; transport/other errors: %d; cache hits: %.0f\n",
+		failedJobs, failed, cacheHits)
+
+	fmt.Fprintf(out, "  %-8s %-6s %-23s %-23s %-23s\n",
+		"priority", "jobs", "queue-wait p50/p99", "run p50/p99", "e2e p50/p99")
+	for _, p := range []ctsserver.Priority{ctsserver.PriorityHigh, ctsserver.PriorityNormal, ctsserver.PriorityLow} {
+		labels := map[string]string{"priority": string(p)}
+		e2e := diffHistogram(before, after, "ctsd_job_e2e_seconds", labels)
+		if e2e.Count == 0 {
+			continue
+		}
+		wait := diffHistogram(before, after, "ctsd_job_queue_wait_seconds", labels)
+		run := diffHistogram(before, after, "ctsd_job_run_seconds", labels)
+		fmt.Fprintf(out, "  %-8s %-6d %-23s %-23s %-23s\n",
+			string(p), e2e.Count,
+			fmtSeconds(wait.Quantile(0.50))+"/"+fmtSeconds(wait.Quantile(0.99)),
+			fmtSeconds(run.Quantile(0.50))+"/"+fmtSeconds(run.Quantile(0.99)),
+			fmtSeconds(e2e.Quantile(0.50))+"/"+fmtSeconds(e2e.Quantile(0.99)))
+	}
+}
+
+// pct renders n as a percentage of total, 0 when total is 0.
+func pct(n, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(total)
+}

@@ -27,6 +27,13 @@ package determinism
 // result) only holds if replaying the level loop against cached sub-trees
 // is deterministic.  Hierarchical routing is versioned via Settings.Routing
 // in both the result and subtree cache keys, not exempted.
+//
+// repro/internal/obs is deliberately NOT in scope: it is observability
+// metadata, not result-producing code.  Its span tracer reads the clock and
+// its metrics are order-free atomics by design; nothing in internal/obs may
+// ever feed a Result or a cache key.  The flow itself only gained plain
+// counters (Event.Reused) — the timestamped trace assembly lives in
+// pkg/ctsserver, outside the contract surface.
 var ScopedPackages = []string{
 	"repro/internal/dme",
 	"repro/internal/geom",

@@ -1,6 +1,9 @@
 package mergeroute
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // scratch is the reusable per-Merge workspace of the maze router: expansion
 // state arrays, the priority queue, visited marks, the corridor mask of the
@@ -63,11 +66,30 @@ func ensureCorridor(s []bool, n int) []bool {
 	return s
 }
 
+// arenaGets and arenaAllocs count workspace acquisitions and the subset that
+// had to allocate a fresh scratch (pool miss).  gets − allocs is the number of
+// recycled workspaces — the arena's whole reason to exist — so the service
+// metrics layer exports both via ArenaStats.  The counters are process-wide
+// like the pool itself.
+var arenaGets, arenaAllocs atomic.Uint64
+
+// ArenaStats reports the scratch arena's lifetime counters: total workspace
+// acquisitions and how many of them allocated instead of recycling.
+func ArenaStats() (gets, allocs uint64) {
+	return arenaGets.Load(), arenaAllocs.Load()
+}
+
 // scratchPool hands out workspaces; see Merger.getScratch.
-var scratchPool = sync.Pool{New: func() interface{} { return new(scratch) }}
+var scratchPool = sync.Pool{New: func() interface{} {
+	arenaAllocs.Add(1)
+	return new(scratch)
+}}
 
 // getScratch acquires a workspace for one Merge call.
-func getScratch() *scratch { return scratchPool.Get().(*scratch) }
+func getScratch() *scratch {
+	arenaGets.Add(1)
+	return scratchPool.Get().(*scratch)
+}
 
 // putScratch returns the workspace.  The contents stay allocated (that is
 // the point); generation stamps make any stale state invisible to the next

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ContentType is the Content-Type of the text exposition format this
+// package writes (the Prometheus 0.0.4 text format).
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every registered family in the Prometheus text
+// format, in registration order: a # HELP and # TYPE pair per family, then
+// one line per series (histograms expand to their cumulative _bucket series
+// with a terminal le="+Inf", plus _sum and _count).  The rendering is a
+// consistent read per series, not across the registry — standard scrape
+// semantics.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(escapeHelp(f.help))
+		bw.WriteByte('\n')
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.snapshot() {
+			if f.kind == KindHistogram {
+				writeHistogramSeries(bw, f, s)
+				continue
+			}
+			v := 0.0
+			if s.fn != nil {
+				v = s.fn()
+			} else {
+				v = s.value.Load()
+			}
+			writeSample(bw, f.name, f.labels, s.labelValues, "", "", v)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeHistogramSeries renders one histogram series: cumulative buckets,
+// sum, count.
+func writeHistogramSeries(w *bufio.Writer, f *Family, s *series) {
+	snap := s.hist.Snapshot()
+	var cum uint64
+	for i, b := range snap.Bounds {
+		cum += snap.Counts[i]
+		writeSample(w, f.name+"_bucket", f.labels, s.labelValues, "le", formatFloat(b), float64(cum))
+	}
+	cum += snap.Counts[len(snap.Bounds)]
+	writeSample(w, f.name+"_bucket", f.labels, s.labelValues, "le", "+Inf", float64(cum))
+	writeSample(w, f.name+"_sum", f.labels, s.labelValues, "", "", snap.Sum)
+	writeSample(w, f.name+"_count", f.labels, s.labelValues, "", "", float64(cum))
+}
+
+// writeSample renders one sample line, appending the extra label (the
+// histogram "le") when its name is non-empty.
+func writeSample(w *bufio.Writer, name string, labels, values []string, extraName, extraValue string, v float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraName != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(values[i]))
+			w.WriteByte('"')
+		}
+		if extraName != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(extraName)
+			w.WriteString(`="`)
+			w.WriteString(extraValue)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatFloat(v))
+	w.WriteByte('\n')
+}
+
+// formatFloat renders a sample value: shortest round-trip representation,
+// with the Prometheus spellings for infinities.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, double quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,347 @@
+// Package obs is the dependency-free observability toolkit behind ctsd's
+// GET /metrics endpoint and per-job trace spans: counters, gauges and
+// fixed-bucket histograms over lock-cheap atomics, percentile estimation
+// from histogram buckets, Prometheus text-format exposition (and a matching
+// parser, used by the exposition tests and the cmd/ctsload report), and a
+// lightweight span tracer with a per-job span tree and JSON rendering.
+//
+// The package is deliberately stdlib-only.  Metric values are float64s
+// stored as atomic bit patterns, so hot paths (a histogram observation per
+// job, a counter bump per cache lookup) cost one or two atomic operations
+// and never block a scrape; scrapes read whatever instant the atomics hold.
+//
+// A Registry owns metric families in registration order:
+//
+//	reg := obs.NewRegistry()
+//	submitted := reg.NewCounter("jobs_submitted_total", "Jobs admitted.").With()
+//	wait := reg.NewHistogram("queue_wait_seconds", "Queue wait.",
+//	        obs.LatencyBuckets, "priority")
+//	...
+//	submitted.Inc()
+//	wait.With("high").Observe(0.004)
+//	reg.WritePrometheus(w)
+//
+// Time-stamped data (span start times, uptime) makes this package
+// inherently non-deterministic; it must never feed synthesis results.  See
+// the determinism-scope note in internal/analysis/determinism/scope.go.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies a metric family for the TYPE line of the exposition.
+type Kind int
+
+const (
+	// KindCounter is a monotonically increasing value.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a fixed-bucket distribution with sum and count.
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE token.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Value is a float64 behind an atomic bit pattern: the shared scalar store
+// of Counter and Gauge.  The zero value is 0 and ready to use.
+type Value struct {
+	bits atomic.Uint64
+}
+
+// Add adds delta (CAS loop; contention on a single hot counter stays in
+// user space and is far cheaper than a mutex on the scrape path).
+func (v *Value) Add(delta float64) {
+	for {
+		old := v.bits.Load()
+		cur := math.Float64frombits(old)
+		if v.bits.CompareAndSwap(old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
+// Set stores an absolute value.
+func (v *Value) Set(x float64) { v.bits.Store(math.Float64bits(x)) }
+
+// Load returns the current value.
+func (v *Value) Load() float64 { return math.Float64frombits(v.bits.Load()) }
+
+// Counter is one monotonically increasing series (a typed view over a
+// Value).  Use Inc/Add; decreasing a counter is a caller bug the type does
+// not police (it would cost an atomic compare on every Add).
+type Counter Value
+
+// Inc adds one.
+func (c *Counter) Inc() { (*Value)(c).Add(1) }
+
+// Add adds delta, which must be non-negative.
+func (c *Counter) Add(delta float64) { (*Value)(c).Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() float64 { return (*Value)(c).Load() }
+
+// Gauge is one series whose value can move both ways (a typed view over a
+// Value).
+type Gauge Value
+
+// Set stores an absolute value.
+func (g *Gauge) Set(x float64) { (*Value)(g).Set(x) }
+
+// Add adds delta (negative deltas decrease the gauge).
+func (g *Gauge) Add(delta float64) { (*Value)(g).Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return (*Value)(g).Load() }
+
+// series is one label-value combination of a family: either an owned
+// scalar/histogram, or a read-at-scrape function.
+type series struct {
+	labelValues []string
+	value       *Value         // counter/gauge series
+	fn          func() float64 // read-at-scrape series (nil otherwise)
+	hist        *Histogram     // histogram series
+}
+
+// Family is one named metric family: a HELP string, a TYPE, a label schema
+// and the series instantiated under it, in first-use order.
+type Family struct {
+	name   string
+	help   string
+	kind   Kind
+	labels []string
+	bounds []float64 // histogram bucket upper bounds; nil otherwise
+
+	mu     sync.Mutex
+	series []*series          // guarded by mu; exposition order
+	byKey  map[string]*series // guarded by mu
+}
+
+// Name returns the family name.
+func (f *Family) Name() string { return f.name }
+
+// seriesFor returns (creating if needed) the series for the label values.
+// Callers must pass exactly len(f.labels) values.
+func (f *Family) seriesFor(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.byKey[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), values...)}
+	if f.kind == KindHistogram {
+		s.hist = newHistogram(f.bounds)
+	} else {
+		s.value = &Value{}
+	}
+	f.series = append(f.series, s)
+	f.byKey[key] = s
+	return s
+}
+
+// addFunc registers a read-at-scrape series; the value is fn() at exposition
+// time.  It panics if the label values are already bound.
+func (f *Family) addFunc(fn func() float64, values []string) {
+	if f.kind == KindHistogram {
+		panic("obs: histogram families cannot hold func series")
+	}
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.byKey[key]; ok {
+		panic(fmt.Sprintf("obs: %s%v registered twice", f.name, values))
+	}
+	s := &series{labelValues: append([]string(nil), values...), fn: fn}
+	f.series = append(f.series, s)
+	f.byKey[key] = s
+}
+
+// snapshot returns the series slice under the lock (the slice is
+// append-only, and each series' value is read atomically later).
+func (f *Family) snapshot() []*series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*series, len(f.series))
+	copy(out, f.series)
+	return out
+}
+
+// labelKey builds the map key for a label-value tuple.  Values are
+// length-prefixed so ("ab","c") and ("a","bc") cannot alias.
+func labelKey(values []string) string {
+	if len(values) == 0 {
+		return ""
+	}
+	n := 0
+	for _, v := range values {
+		n += len(v) + 4
+	}
+	b := make([]byte, 0, n)
+	for _, v := range values {
+		b = append(b, byte(len(v)>>16), byte(len(v)>>8), byte(len(v)))
+		b = append(b, v...)
+	}
+	return string(b)
+}
+
+// CounterVec is a counter family handle; With instantiates one series.
+type CounterVec struct{ f *Family }
+
+// With returns the counter for the label values (creating it on first use).
+func (v CounterVec) With(values ...string) *Counter {
+	return (*Counter)(v.f.seriesFor(values).value)
+}
+
+// Func registers a read-at-scrape counter series: the exposed value is fn()
+// at scrape time.  fn must be monotone for the series to honor counter
+// semantics (wrapping an existing atomic total qualifies).
+func (v CounterVec) Func(fn func() float64, values ...string) { v.f.addFunc(fn, values) }
+
+// GaugeVec is a gauge family handle; With instantiates one series.
+type GaugeVec struct{ f *Family }
+
+// With returns the gauge for the label values (creating it on first use).
+func (v GaugeVec) With(values ...string) *Gauge {
+	return (*Gauge)(v.f.seriesFor(values).value)
+}
+
+// Func registers a read-at-scrape gauge series.
+func (v GaugeVec) Func(fn func() float64, values ...string) { v.f.addFunc(fn, values) }
+
+// HistogramVec is a histogram family handle; With instantiates one series.
+type HistogramVec struct{ f *Family }
+
+// With returns the histogram for the label values (creating it on first
+// use).
+func (v HistogramVec) With(values ...string) *Histogram {
+	return v.f.seriesFor(values).hist
+}
+
+// Registry owns metric families and renders them in registration order.
+type Registry struct {
+	mu       sync.Mutex
+	families []*Family          // guarded by mu; exposition order
+	byName   map[string]*Family // guarded by mu
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: map[string]*Family{}}
+}
+
+// register adds a family, panicking on a duplicate or invalid name
+// (registration happens at construction time, so both are programmer
+// errors worth failing loudly on).
+func (r *Registry) register(f *Family) *Family {
+	if !validMetricName(f.name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", f.name))
+	}
+	for _, l := range f.labels {
+		if !validLabelName(l) {
+			panic(fmt.Sprintf("obs: invalid label name %q on %q", l, f.name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byName[f.name]; ok {
+		panic(fmt.Sprintf("obs: metric %q registered twice", f.name))
+	}
+	f.byKey = map[string]*series{}
+	r.families = append(r.families, f)
+	r.byName[f.name] = f
+	return f
+}
+
+// NewCounter registers a counter family with the label schema and returns
+// its handle.  With no labels, With() yields the single series.
+func (r *Registry) NewCounter(name, help string, labels ...string) CounterVec {
+	return CounterVec{r.register(&Family{name: name, help: help, kind: KindCounter, labels: labels})}
+}
+
+// NewGauge registers a gauge family with the label schema.
+func (r *Registry) NewGauge(name, help string, labels ...string) GaugeVec {
+	return GaugeVec{r.register(&Family{name: name, help: help, kind: KindGauge, labels: labels})}
+}
+
+// NewHistogram registers a histogram family over the bucket upper bounds
+// (strictly increasing, finite; the terminal +Inf bucket is implicit).
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labels ...string) HistogramVec {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket bound", name))
+	}
+	for i, b := range buckets {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram %q bound %d is not finite", name, i))
+		}
+		if i > 0 && b <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bounds not strictly increasing at %d", name, i))
+		}
+	}
+	bounds := append([]float64(nil), buckets...)
+	return HistogramVec{r.register(&Family{name: name, help: help, kind: KindHistogram, labels: labels, bounds: bounds})}
+}
+
+// snapshotFamilies returns the family slice under the lock.
+func (r *Registry) snapshotFamilies() []*Family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Family, len(r.families))
+	copy(out, r.families)
+	return out
+}
+
+// validMetricName checks [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelName checks [a-zA-Z_][a-zA-Z0-9_]* and reserves the histogram
+// "le" label.
+func validLabelName(s string) bool {
+	if s == "" || s == "le" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

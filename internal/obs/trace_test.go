@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceTreeShape(t *testing.T) {
+	anchor := time.Unix(1000, 0)
+	tr := NewTraceAt(anchor)
+	root := tr.StartAt(-1, "run", anchor)
+	topo := tr.StartAt(root, "topology", anchor.Add(1*time.Millisecond))
+	tr.EndIn(topo, 9*time.Millisecond)
+	mr := tr.StartAt(root, "mergeroute", anchor.Add(10*time.Millisecond))
+	lvl := tr.StartAt(mr, "level-0", anchor.Add(10*time.Millisecond), Attr{Key: "pairs", Value: "4"})
+	tr.EndIn(lvl, 5*time.Millisecond)
+	tr.EndIn(mr, 20*time.Millisecond)
+	tr.EndIn(root, 30*time.Millisecond)
+
+	roots := tr.Tree()
+	if len(roots) != 1 || roots[0].Name != "run" {
+		t.Fatalf("roots = %+v, want single run span", roots)
+	}
+	r := roots[0]
+	if r.StartMs != 0 || r.DurationMs != 30 || r.Open {
+		t.Fatalf("run span = %+v", r)
+	}
+	if len(r.Spans) != 2 || r.Spans[0].Name != "topology" || r.Spans[1].Name != "mergeroute" {
+		t.Fatalf("children out of start order: %+v", r.Spans)
+	}
+	level := r.Spans[1].Spans[0]
+	if level.StartMs != 10 || level.DurationMs != 5 || level.Attrs["pairs"] != "4" {
+		t.Fatalf("level span = %+v", level)
+	}
+}
+
+func TestTraceEndIdempotentAndBadIDs(t *testing.T) {
+	tr := NewTrace()
+	id := tr.Start(-1, "s")
+	tr.EndIn(id, time.Second)
+	tr.EndIn(id, time.Hour) // second finisher loses
+	tr.End(99)              // unknown id: no-op
+	tr.SetAttr(99, "k", "v")
+	got := tr.Tree()
+	if got[0].DurationMs != 1000 {
+		t.Fatalf("duration = %v, want 1000", got[0].DurationMs)
+	}
+	// A bogus parent index degrades to a root rather than panicking.
+	orphan := tr.Start(42, "orphan")
+	tr.EndIn(orphan, time.Millisecond)
+	if roots := tr.Tree(); len(roots) != 2 {
+		t.Fatalf("orphan not promoted to root: %d roots", len(roots))
+	}
+}
+
+func TestTraceOpenSpanAndSetAttr(t *testing.T) {
+	tr := NewTrace()
+	id := tr.Start(-1, "s", Attr{Key: "a", Value: "1"})
+	tr.SetAttr(id, "a", "2") // overwrite
+	tr.SetAttr(id, "b", "3") // append
+	got := tr.Tree()
+	if !got[0].Open {
+		t.Fatal("unended span must render open")
+	}
+	want := map[string]string{"a": "2", "b": "3"}
+	if !reflect.DeepEqual(got[0].Attrs, want) {
+		t.Fatalf("attrs = %v, want %v", got[0].Attrs, want)
+	}
+}
+
+// TestTraceReplayStable pins the replayability contract: once every span is
+// ended, repeated renderings are byte-identical (no clock reads).
+func TestTraceReplayStable(t *testing.T) {
+	tr := NewTrace()
+	root := tr.Start(-1, "run")
+	child := tr.Start(root, "stage")
+	tr.EndIn(child, 3*time.Millisecond)
+	tr.EndIn(root, 7*time.Millisecond)
+	first, err := json.Marshal(tr.Tree())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Millisecond)
+	second, _ := json.Marshal(tr.Tree())
+	if string(first) != string(second) {
+		t.Fatalf("trace rendering drifted:\n%s\n%s", first, second)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	root := tr.Start(-1, "run")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				id := tr.Start(root, "child")
+				tr.SetAttr(id, "i", "x")
+				tr.EndIn(id, time.Microsecond)
+				_ = tr.Tree()
+				_ = tr.ApproxBytes()
+			}
+		}()
+	}
+	wg.Wait()
+	tr.EndIn(root, time.Second)
+	if got := tr.Len(); got != 801 {
+		t.Fatalf("span count = %d, want 801", got)
+	}
+}

@@ -136,9 +136,9 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink, incremental b
 		}
 		var merged []*mergeroute.Subtree
 		var mergedTrack []subtreeMeta
-		var levelFlips int
+		var levelFlips, levelReused int
 		if cache != nil {
-			merged, mergedTrack, levelFlips, err = f.mergeLevelCached(ctx, merger, current, pairs, track, incremental, res.Incremental)
+			merged, mergedTrack, levelFlips, levelReused, err = f.mergeLevelCached(ctx, merger, current, pairs, track, incremental, res.Incremental)
 		} else {
 			var perFlips []int
 			merged, perFlips, err = f.mergeLevel(ctx, merger, current, pairs)
@@ -157,14 +157,17 @@ func (f *Flow) run(ctx context.Context, item string, sinks []Sink, incremental b
 			}
 			track = append(nextTrack, mergedTrack...)
 		}
-		f.emit(Event{Kind: EventStageEnd, Item: item, Stage: StageMergeRoute, Level: level, Elapsed: time.Since(mergeStart)})
+		f.emit(Event{
+			Kind: EventStageEnd, Item: item, Stage: StageMergeRoute, Level: level,
+			Pairs: len(pairs), Reused: levelReused, Elapsed: time.Since(mergeStart),
+		})
 
 		res.Flippings += levelFlips
 		res.Levels++
 		current = next
 		f.emit(Event{
 			Kind: EventLevelDone, Item: item, Level: level,
-			Subtrees: len(current), Pairs: len(pairs), Flips: levelFlips,
+			Subtrees: len(current), Pairs: len(pairs), Flips: levelFlips, Reused: levelReused,
 			Elapsed: time.Since(topoStart),
 		})
 	}

@@ -94,17 +94,19 @@ func (f *Flow) RunIncremental(ctx context.Context, base *Result, sinks []Sink) (
 // each pair's SubtreeKey, serves hits from the subtree cache (when lookup is
 // set), routes the misses through the ordinary mergeLevel fan-out, and
 // writes every routed merge back through.  Hit or miss, the per-pair results
-// are bit-identical to mergeLevel's, so the level stays deterministic.
-func (f *Flow) mergeLevelCached(ctx context.Context, merger MergeRouter, current []*mergeroute.Subtree, pairs []Pairing, track []subtreeMeta, lookup bool, stats *IncrementalStats) ([]*mergeroute.Subtree, []subtreeMeta, int, error) {
+// are bit-identical to mergeLevel's, so the level stays deterministic.  The
+// reused return counts the pairs served from the cache, so the caller can
+// report per-level hit counts on its events.
+func (f *Flow) mergeLevelCached(ctx context.Context, merger MergeRouter, current []*mergeroute.Subtree, pairs []Pairing, track []subtreeMeta, lookup bool, stats *IncrementalStats) ([]*mergeroute.Subtree, []subtreeMeta, int, int, error) {
 	cache := f.cfg.subtreeCache
 	merged := make([]*mergeroute.Subtree, len(pairs))
 	mtrack := make([]subtreeMeta, len(pairs))
-	flips := 0
+	flips, reused := 0, 0
 	var missPairs []Pairing
 	var missIdx []int
 	for i, p := range pairs {
 		if err := ctx.Err(); err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
 		}
 		a, b := track[p.A], track[p.B]
 		subset := mergeSortedSinks(a.sinks, b.sinks)
@@ -114,6 +116,7 @@ func (f *Flow) mergeLevelCached(ctx context.Context, merger MergeRouter, current
 				if st, fl, err := mergeroute.DecodeSubtree(value); err == nil {
 					merged[i] = st
 					flips += fl
+					reused++
 					stats.ReusedSubtrees++
 					continue
 				}
@@ -128,7 +131,7 @@ func (f *Flow) mergeLevelCached(ctx context.Context, merger MergeRouter, current
 	if len(missPairs) > 0 {
 		computed, perFlips, err := f.mergeLevel(ctx, merger, current, missPairs)
 		if err != nil {
-			return nil, nil, 0, err
+			return nil, nil, 0, 0, err
 		}
 		for k, idx := range missIdx {
 			merged[idx] = computed[k]
@@ -139,7 +142,7 @@ func (f *Flow) mergeLevelCached(ctx context.Context, merger MergeRouter, current
 			stats.RecomputedMerges += len(missPairs)
 		}
 	}
-	return merged, mtrack, flips, nil
+	return merged, mtrack, flips, reused, nil
 }
 
 // harvestEntry is one memoized merge of a base result: its Merkle key and

@@ -76,6 +76,10 @@ type Event struct {
 	// Flips is the number of H-structure flippings at the level
 	// (EventLevelDone).
 	Flips int
+	// Reused is the number of the level's merges served from the subtree
+	// cache instead of being routed (merge-route EventStageEnd and
+	// EventLevelDone; always zero without a subtree cache).
+	Reused int
 	// Elapsed is the duration of the closed span (stage end, level done,
 	// flow end).
 	Elapsed time.Duration
@@ -160,6 +164,8 @@ type MetricsSnapshot struct {
 	FlowsStarted, FlowsDone, FlowsFailed int
 	// Levels, Pairs and Flips accumulate the per-level counters across runs.
 	Levels, Pairs, Flips int
+	// Reused accumulates the merges served from the subtree cache.
+	Reused int
 	// Stages maps stage name (StageTopology, ...) to its aggregates.  The
 	// per-level stages count one execution per level, the whole-flow stages
 	// one per run.
@@ -203,6 +209,7 @@ func (m *MetricsObserver) Observe(e Event) {
 		m.snap.Levels++
 		m.snap.Pairs += e.Pairs
 		m.snap.Flips += e.Flips
+		m.snap.Reused += e.Reused
 	case EventStageEnd:
 		sm := m.snap.Stages[e.Stage]
 		sm.observe(e.Elapsed)
@@ -227,8 +234,8 @@ func (m *MetricsObserver) Snapshot() MetricsSnapshot {
 // non-empty histogram buckets.
 func (s MetricsSnapshot) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "flows: %d started, %d done, %d failed; levels %d, pairs %d, flips %d\n",
-		s.FlowsStarted, s.FlowsDone, s.FlowsFailed, s.Levels, s.Pairs, s.Flips)
+	fmt.Fprintf(&b, "flows: %d started, %d done, %d failed; levels %d, pairs %d, flips %d, reused %d\n",
+		s.FlowsStarted, s.FlowsDone, s.FlowsFailed, s.Levels, s.Pairs, s.Flips, s.Reused)
 	names := make([]string, 0, len(s.Stages))
 	//ctslint:allow determinism -- collect-then-sort: keys are sorted immediately below, so the range order cannot escape
 	for name := range s.Stages {

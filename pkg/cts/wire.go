@@ -30,6 +30,8 @@ type WireEvent struct {
 	Pairs int `json:"pairs,omitempty"`
 	// Flips counts H-structure correction re-pairings at the level.
 	Flips int `json:"flips,omitempty"`
+	// Reused counts the level's merges served from the subtree cache.
+	Reused int `json:"reused,omitempty"`
 	// ElapsedMs is the event's elapsed wall-clock time in milliseconds.
 	ElapsedMs float64 `json:"elapsedMs,omitempty"`
 	// Error carries the run error of a terminal flow-end event.
@@ -47,6 +49,7 @@ func (e Event) Wire() WireEvent {
 		Subtrees:  e.Subtrees,
 		Pairs:     e.Pairs,
 		Flips:     e.Flips,
+		Reused:    e.Reused,
 		ElapsedMs: float64(e.Elapsed) / float64(time.Millisecond),
 	}
 	if e.Err != nil {

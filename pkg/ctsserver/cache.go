@@ -123,6 +123,14 @@ func (c *resultCache) insertLocked(key string, data json.RawMessage) {
 	}
 }
 
+// counters snapshots just the lookup counters (the cheap subset of stats,
+// read per-series by the /metrics scrape).
+func (c *resultCache) counters() (memHits, diskHits, misses, evictions int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.memHits, c.diskHits, c.misses, c.evictions
+}
+
 // stats snapshots the cache counters across both tiers.
 func (c *resultCache) stats() CacheStats {
 	c.mu.Lock()

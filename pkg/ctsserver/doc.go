@@ -12,8 +12,10 @@
 //	POST   /v1/jobs             submit a JobRequest
 //	GET    /v1/jobs/{id}        fetch a JobStatus
 //	GET    /v1/jobs/{id}/events subscribe to the job's event stream (SSE)
+//	GET    /v1/jobs/{id}/trace  fetch the job's span tree (JobTrace)
 //	DELETE /v1/jobs/{id}        cancel a job
 //	GET    /v1/stats            scheduler/cache/synthesis statistics (Stats)
+//	GET    /metrics             Prometheus text exposition (not JSON)
 //	GET    /healthz             liveness (Health)
 //
 // # POST /v1/jobs
@@ -78,6 +80,38 @@
 // counter is not incremented, and the response simply carries the
 // unchanged status.  This is the pinned contract; clients may retry
 // DELETE freely.
+//
+// # GET /v1/jobs/{id}/trace
+//
+// 200 with the job's JobTrace: the id, name, current state and a span tree
+// (repro/internal/obs SpanJSON — name, startMs offset from admission,
+// durationMs, attrs, children).  The root "job" span covers admission to
+// terminal and carries state and cacheHit attrs; its "queued" child covers
+// admission to worker pickup and its "run" child covers the synthesis,
+// with one child span per pipeline stage (named "stage/level" for the
+// leveled stages, carrying pairs/reused attrs where meaningful).  Stage
+// durations are the flow's own measured elapsed times, not re-measured at
+// render.  While the job is live the tree is a snapshot and open spans are
+// marked open:true; once the job is terminal the trace is frozen and
+// replays byte-identically, like the SSE event log.  Born-terminal jobs
+// (cache hits, born-expired) have no run span.  404 once retention has
+// forgotten the id.
+//
+// # GET /metrics
+//
+// The one non-JSON endpoint: the server's metric registry in Prometheus
+// text exposition format 0.0.4 (Content-Type "text/plain; version=0.0.4").
+// Series are prefixed ctsd_ — admission and terminal-state counters,
+// queue depth and running-job gauges, result-/subtree-cache hit/miss/
+// eviction counters per tier, merge-arena recycling, and latency
+// histograms: ctsd_job_queue_wait_seconds, ctsd_job_run_seconds and
+// ctsd_job_e2e_seconds labeled by priority (observed once per job at its
+// terminal transition; born-terminal jobs observe only e2e) plus
+// ctsd_stage_seconds labeled by stage.  Every histogram ends in a
+// le="+Inf" bucket and reconciles exactly — counts, sums and
+// bucket-interpolated percentiles — with the latency block of
+// GET /v1/stats; repro/internal/obs.ParseText parses the exposition
+// strictly and is what cmd/ctsload and the package's own tests use.
 //
 // # Scheduling: priorities and deadlines
 //

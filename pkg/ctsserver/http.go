@@ -6,8 +6,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"time"
 
+	"repro/internal/obs"
 	"repro/pkg/cts"
 )
 
@@ -181,6 +183,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.log.Info("job accepted",
+		"job", j.id, "priority", string(j.priority), "sinks", j.sinkCount,
+		"key", j.key, "baseJob", j.baseJob)
 	writeJSON(w, http.StatusAccepted, j.status())
 }
 
@@ -258,6 +263,33 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleTrace implements GET /v1/jobs/{id}/trace: the job's span tree.  The
+// trace of a non-terminal job is a live snapshot (open spans carry
+// open=true); a terminal job's trace is frozen, so replays are
+// byte-identical.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	st := j.status()
+	writeJSON(w, http.StatusOK, JobTrace{
+		ID:    j.id,
+		Name:  j.name,
+		State: st.State,
+		Spans: j.trace.tree(),
+	})
+}
+
+// handleMetrics implements GET /metrics: the Prometheus text exposition of
+// the server registry.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = s.obsm.reg.WritePrometheus(w)
+}
+
 // handleStats implements GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cache := s.cache.stats()
@@ -265,9 +297,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cache.Subtrees = s.subtrees.stats()
 	}
 	writeJSON(w, http.StatusOK, Stats{
-		Scheduler: s.sched.stats(),
-		Cache:     cache,
-		Metrics:   s.metrics.Snapshot(),
+		Scheduler:     s.sched.stats(),
+		Cache:         cache,
+		Metrics:       s.metrics.Snapshot(),
+		UptimeSeconds: time.Since(s.obsm.start).Seconds(),
+		Goroutines:    runtime.NumGoroutine(),
+		Latency:       s.obsm.latencySummaries(),
 	})
 }
 

@@ -50,6 +50,12 @@ type job struct {
 	sinks []cts.Sink
 	flow  *cts.Flow
 
+	// trace is the job's span tree (GET /v1/jobs/{id}/trace).  It is built
+	// once and retained past finish — unlike sinks/flow it is a few spans
+	// per level, so it costs retention little and makes completed jobs
+	// replayable.  It has its own locking.
+	trace *jobTrace
+
 	mu       sync.Mutex
 	state    JobState   // guarded by mu
 	cacheHit bool       // guarded by mu
@@ -65,6 +71,7 @@ type job struct {
 }
 
 func newJob(id string, req JobRequest, key string, flow *cts.Flow, sinks []cts.Sink, priority Priority, deadline time.Time) *job {
+	created := time.Now()
 	return &job{
 		id:        id,
 		name:      req.Name,
@@ -77,7 +84,8 @@ func newJob(id string, req JobRequest, key string, flow *cts.Flow, sinks []cts.S
 		deadline:  deadline,
 		state:     StateQueued,
 		notify:    make(chan struct{}),
-		created:   time.Now(),
+		created:   created,
+		trace:     newJobTrace(created),
 	}
 }
 
@@ -110,6 +118,7 @@ func (j *job) setRunning() bool {
 	}
 	j.state = StateRunning
 	j.started = time.Now()
+	j.trace.markRunning(j.started)
 	j.wake()
 	return true
 }
@@ -136,6 +145,7 @@ func (j *job) finish(from, state JobState, cacheHit bool, result json.RawMessage
 	j.result = result
 	j.errMsg = errMsg
 	j.finished = time.Now()
+	j.trace.finish(state, cacheHit, j.started, j.finished)
 	data, err := json.Marshal(j.statusLocked())
 	if err == nil {
 		j.log = append(j.log, jobEvent{seq: len(j.log), kind: EventTypeDone, data: data})
@@ -172,15 +182,23 @@ func (j *job) statusLocked() JobStatus {
 
 // retainedSize approximates the bytes a terminal job pins: its result JSON
 // plus the event-log payloads (which embed the result once more in the
-// terminal event).
+// terminal event) and the retained trace spans.
 func (j *job) retainedSize() int64 {
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	size := int64(len(j.result))
 	for _, ev := range j.log {
 		size += int64(len(ev.data))
 	}
-	return size
+	j.mu.Unlock()
+	return size + j.trace.tr.ApproxBytes()
+}
+
+// times snapshots the job's lifecycle timestamps (for latency metrics at the
+// terminal transition).
+func (j *job) times() (created, started, finished time.Time) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.created, j.started, j.finished
 }
 
 // snapshotSince returns the log tail from sequence n on, whether the job is

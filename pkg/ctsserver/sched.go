@@ -179,6 +179,14 @@ func (s *scheduler) releaseQueued(j *job) {
 	s.mu.Unlock()
 }
 
+// gauges snapshots the live queue occupancy (read per-series by the /metrics
+// scrape): total queued, running, and queued split by priority rank.
+func (s *scheduler) gauges() (queued, running int, byPriority [numPriorities]int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queuedLive, s.running, s.byPriority
+}
+
 // isDraining reports whether intake has been stopped.
 func (s *scheduler) isDraining() bool {
 	s.mu.Lock()

@@ -7,11 +7,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/charlib"
 	"repro/internal/spice"
@@ -75,6 +77,10 @@ type Options struct {
 	// VerifyTimeStep is the transient-simulation step in ps for jobs that
 	// request verification (<= 0 selects 1).
 	VerifyTimeStep float64
+	// Logger receives structured lifecycle logs (one line per admission and
+	// per terminal transition, with job id, key, state and durations); nil
+	// discards them.
+	Logger *slog.Logger
 }
 
 // Server is the long-lived synthesis service: an http.Handler exposing the
@@ -89,6 +95,8 @@ type Server struct {
 	cache    *resultCache
 	subtrees *subtreeTier // nil when the subtree tier is disabled
 	metrics  *cts.MetricsObserver
+	obsm     *serverMetrics
+	log      *slog.Logger
 
 	mu            sync.Mutex
 	jobs          map[string]*job
@@ -141,6 +149,9 @@ func New(o Options) (*Server, error) {
 	if o.VerifyTimeStep <= 0 {
 		o.VerifyTimeStep = 1
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
 	var prefix [4]byte
 	if _, err := rand.Read(prefix[:]); err != nil {
 		return nil, fmt.Errorf("ctsserver: seeding job ids: %w", err)
@@ -172,17 +183,21 @@ func New(o Options) (*Server, error) {
 		cache:    newResultCache(o.CacheBytes, disk),
 		subtrees: subtrees,
 		metrics:  cts.NewMetricsObserver(),
+		log:      o.Logger,
 		jobs:     map[string]*job{},
 		idPrefix: hex.EncodeToString(prefix[:]),
 	}
 	s.sched = newScheduler(o.Workers, o.QueueDepth, s.execute, s.expireQueued)
+	s.obsm = newServerMetrics(s)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux = mux
 	return s, nil
@@ -267,13 +282,44 @@ func (s *Server) lookup(id string) (*job, bool) {
 }
 
 // finishJob drives a job to a terminal state exactly once, updating the
-// scheduler counters and the retention list.  A non-empty from restricts
-// the transition to jobs currently in that state (see job.finish).
+// scheduler counters, the latency histograms and the retention list.  A
+// non-empty from restricts the transition to jobs currently in that state
+// (see job.finish).
 func (s *Server) finishJob(j *job, from, state JobState, cacheHit bool, result json.RawMessage, errMsg string) {
 	if !j.finish(from, state, cacheHit, result, errMsg) {
 		return
 	}
+	s.noteTerminal(j, state, cacheHit, errMsg)
+}
+
+// noteTerminal is the single post-transition path of every terminal job:
+// scheduler counters, latency observations, the structured log line and
+// retention.  The caller has already won the finish transition.
+func (s *Server) noteTerminal(j *job, state JobState, cacheHit bool, errMsg string) {
 	s.sched.note(state, cacheHit)
+	s.obsm.observeTerminal(j)
+	created, started, finished := j.times()
+	attrs := []any{
+		"job", j.id, "state", string(state), "priority", string(j.priority),
+		"sinks", j.sinkCount, "key", j.key,
+		"e2e", finished.Sub(created).Round(time.Microsecond),
+	}
+	if !started.IsZero() {
+		attrs = append(attrs,
+			"wait", started.Sub(created).Round(time.Microsecond),
+			"run", finished.Sub(started).Round(time.Microsecond))
+	}
+	if cacheHit {
+		attrs = append(attrs, "cacheHit", true)
+	}
+	if errMsg != "" {
+		attrs = append(attrs, "error", errMsg)
+	}
+	if state == StateDone {
+		s.log.Info("job finished", attrs...)
+	} else {
+		s.log.Warn("job finished", attrs...)
+	}
 	s.retire(j)
 }
 
@@ -283,12 +329,11 @@ func (s *Server) finishJob(j *job, from, state JobState, cacheHit bool, result j
 // (a racing DELETE may have canceled the job first, in which case the
 // cancel path already released the queue slot).
 func (s *Server) expireQueued(j *job) bool {
-	if !j.finish(StateQueued, StateExpired, false, nil,
-		fmt.Sprintf("deadline %s passed before the job started", rfc3339(j.deadline))) {
+	msg := fmt.Sprintf("deadline %s passed before the job started", rfc3339(j.deadline))
+	if !j.finish(StateQueued, StateExpired, false, nil, msg) {
 		return false
 	}
-	s.sched.note(StateExpired, false)
-	s.retire(j)
+	s.noteTerminal(j, StateExpired, false, msg)
 	return true
 }
 
@@ -300,9 +345,8 @@ func (s *Server) expireQueued(j *job) bool {
 // unwinds.
 func (s *Server) cancelJob(j *job) {
 	if j.finish(StateQueued, StateCanceled, false, nil, "canceled before start") {
-		s.sched.note(StateCanceled, false)
 		s.sched.releaseQueued(j)
-		s.retire(j)
+		s.noteTerminal(j, StateCanceled, false, "canceled before start")
 	}
 	if j.cancel != nil {
 		j.cancel()
@@ -376,7 +420,9 @@ func (s *Server) buildFlow(req JobRequest, j func() *job) (*cts.Flow, error) {
 	opts = append(opts,
 		cts.WithObserver(func(e cts.Event) {
 			s.metrics.Observe(e)
+			s.obsm.observeStage(e)
 			if jb := j(); jb != nil {
+				jb.trace.observe(e)
 				jb.appendFlow(e.Wire())
 			}
 		}),

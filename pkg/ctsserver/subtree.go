@@ -70,6 +70,14 @@ func (t *subtreeTier) Put(key string, value []byte) {
 	}
 }
 
+// counters snapshots just the lookup counters (read per-series by the
+// /metrics scrape).
+func (t *subtreeTier) counters() (memHits, diskHits, misses int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.memHits, t.diskHits, t.misses
+}
+
 // stats snapshots the tier for GET /v1/stats.
 func (t *subtreeTier) stats() *SubtreeStats {
 	ms := t.mem.Stats()

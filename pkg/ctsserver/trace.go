@@ -1,0 +1,120 @@
+package ctsserver
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/pkg/cts"
+)
+
+// jobTrace is one job's span tree: a root "job" span anchored at admission,
+// a "queued" child covering the scheduler wait, a "run" child covering the
+// synthesis, and one child span under "run" per observer stage execution
+// (per level for the leveled stages).  Span durations come from the same
+// measurements the rest of the system already reports — the job's lifecycle
+// timestamps and the observer events' Elapsed — so the trace of a completed
+// job is a replayable record, not a re-measurement: once the job is
+// terminal, repeated renderings are byte-identical.
+type jobTrace struct {
+	tr     *obs.Trace
+	root   int
+	queued int
+
+	mu  sync.Mutex
+	run int // guarded by mu; -1 until the job starts
+	// open maps stage/level to its open span while the stage runs.  Observer
+	// emission is serialized per flow, but End races lifecycle calls from
+	// other goroutines, hence the lock.
+	open map[string]int // guarded by mu
+}
+
+// newJobTrace opens the root and queued spans at admission time.
+func newJobTrace(created time.Time) *jobTrace {
+	t := &jobTrace{tr: obs.NewTraceAt(created), run: -1, open: map[string]int{}}
+	t.root = t.tr.StartAt(-1, "job", created)
+	t.queued = t.tr.StartAt(t.root, "queued", created)
+	return t
+}
+
+// markRunning closes the queued span and opens the run span at the moment a
+// worker picked the job up.
+func (t *jobTrace) markRunning(started time.Time) {
+	t.tr.EndIn(t.queued, started.Sub(t.tr.Anchor()))
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.run = t.tr.StartAt(t.root, "run", started)
+}
+
+// stageKey names one stage execution; the leveled stages run once per level.
+func stageKey(stage string, level int) string {
+	if level > 0 {
+		return fmt.Sprintf("%s/%d", stage, level)
+	}
+	return stage
+}
+
+// observe folds one observer event into the span tree.  Stage-start opens a
+// span under run; stage-end closes it with the event's own Elapsed and
+// annotates the merge-route batches with their pair and cache-reuse counts.
+func (t *jobTrace) observe(e cts.Event) {
+	switch e.Kind {
+	case cts.EventStageStart:
+		t.mu.Lock()
+		parent := t.run
+		if parent < 0 {
+			parent = t.root
+		}
+		var attrs []obs.Attr
+		if e.Level > 0 {
+			attrs = append(attrs, obs.Attr{Key: "level", Value: fmt.Sprint(e.Level)})
+		}
+		t.open[stageKey(e.Stage, e.Level)] = t.tr.StartAt(parent, e.Stage, time.Now(), attrs...)
+		t.mu.Unlock()
+	case cts.EventStageEnd:
+		key := stageKey(e.Stage, e.Level)
+		t.mu.Lock()
+		id, ok := t.open[key]
+		if ok {
+			delete(t.open, key)
+		}
+		t.mu.Unlock()
+		if !ok {
+			return
+		}
+		t.tr.EndIn(id, e.Elapsed)
+		if e.Pairs > 0 {
+			t.tr.SetAttr(id, "pairs", fmt.Sprint(e.Pairs))
+		}
+		if e.Reused > 0 {
+			t.tr.SetAttr(id, "reused", fmt.Sprint(e.Reused))
+		}
+	}
+}
+
+// finish closes every remaining span with the job's terminal timestamps and
+// stamps the outcome on the root.  Stages still open (a canceled run) end
+// with the run; the queued span of a born-terminal job ends at finish.
+func (t *jobTrace) finish(state JobState, cacheHit bool, started, finished time.Time) {
+	anchor := t.tr.Anchor()
+	t.mu.Lock()
+	run := t.run
+	for _, id := range t.open {
+		t.tr.End(id) // the stage died with the run; now ≈ finished
+	}
+	t.open = map[string]int{}
+	t.mu.Unlock()
+	if run >= 0 {
+		t.tr.EndIn(run, finished.Sub(started))
+	}
+	t.tr.EndIn(t.queued, finished.Sub(anchor)) // no-op unless born terminal
+	t.tr.SetAttr(t.root, "state", string(state))
+	if cacheHit {
+		t.tr.SetAttr(t.root, "cacheHit", "true")
+	}
+	t.tr.EndIn(t.root, finished.Sub(anchor))
+}
+
+// tree renders the span forest for the wire.
+func (t *jobTrace) tree() []*obs.SpanJSON { return t.tr.Tree() }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/pkg/cts"
 	"repro/pkg/ctsserver/store"
 )
@@ -352,9 +353,37 @@ type SubtreeStats struct {
 	Disk *store.Stats `json:"disk,omitempty"`
 }
 
+// LatencySummary condenses one latency histogram for GET /v1/stats: the
+// observation count and sum plus bucket-interpolated percentiles (the same
+// estimator /metrics consumers apply to the exported buckets, so the two
+// views agree).
+type LatencySummary struct {
+	// Count is the number of observations.
+	Count uint64 `json:"count"`
+	// SumSeconds is the sum of observed latencies in seconds.
+	SumSeconds float64 `json:"sumSeconds"`
+	// P50Seconds is the estimated median, interpolated from the buckets.
+	P50Seconds float64 `json:"p50Seconds"`
+	// P90Seconds is the estimated 90th percentile.
+	P90Seconds float64 `json:"p90Seconds"`
+	// P99Seconds is the estimated 99th percentile.
+	P99Seconds float64 `json:"p99Seconds"`
+}
+
+// PriorityLatency groups one scheduling class's latency summaries.
+type PriorityLatency struct {
+	// QueueWait is the admission-to-start wait of jobs that started.
+	QueueWait LatencySummary `json:"queueWait"`
+	// Run is the start-to-finish synthesis duration of jobs that started.
+	Run LatencySummary `json:"run"`
+	// E2E is the admission-to-terminal latency of every job, born-terminal
+	// ones (cache hits, born-expired) included.
+	E2E LatencySummary `json:"e2e"`
+}
+
 // Stats is the body of GET /v1/stats: scheduler and cache counters plus the
 // aggregated per-stage synthesis metrics (the same cts.MetricsSnapshot the
-// CLI's -metrics flag renders).
+// CLI's -metrics flag renders) and the per-priority latency summaries.
 type Stats struct {
 	// Scheduler is the queue/worker/terminal-state summary.
 	Scheduler SchedulerStats `json:"scheduler"`
@@ -362,6 +391,29 @@ type Stats struct {
 	Cache CacheStats `json:"cache"`
 	// Metrics aggregates every job's observer stream per stage.
 	Metrics cts.MetricsSnapshot `json:"metrics"`
+	// UptimeSeconds is the time since the server was assembled.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// Goroutines is the live goroutine count.
+	Goroutines int `json:"goroutines"`
+	// Latency is the per-priority latency summary (every class present,
+	// observed or not); the same histograms back /metrics.
+	Latency map[Priority]PriorityLatency `json:"latency"`
+}
+
+// JobTrace is the body of GET /v1/jobs/{id}/trace: the job's span tree.
+// Spans holds the root "job" span with "queued", "run" and per-stage child
+// spans nested under it; offsets and durations are milliseconds from the
+// job's admission.  On a terminal job the tree is frozen and replays
+// byte-identically; on a live job open spans carry open=true.
+type JobTrace struct {
+	// ID is the job id the trace belongs to.
+	ID string `json:"id"`
+	// Name echoes the request's label.
+	Name string `json:"name,omitempty"`
+	// State is the job's lifecycle state at rendering time.
+	State JobState `json:"state"`
+	// Spans is the span forest (in practice a single "job" root).
+	Spans []*obs.SpanJSON `json:"spans"`
 }
 
 // Health is the body of GET /healthz.

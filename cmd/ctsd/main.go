@@ -14,6 +14,17 @@
 //	ctsd -log-level debug                 # per-request and per-job debug logs
 //	ctsd -pprof-addr 127.0.0.1:6060       # opt-in net/http/pprof listener
 //
+// Cluster mode (see "Cluster mode" in the repro/pkg/ctsserver docs):
+//
+//	ctsd -addr :8156 -peers http://h2:8156,http://h3:8156   # member with peer cache reads
+//	ctsd -gateway -addr :8155 -members http://h1:8156,http://h2:8156,http://h3:8156
+//
+// A member given -peers consults its siblings' caches on local misses before
+// synthesizing.  A -gateway process runs no synthesis at all: it
+// consistent-hashes each request's canonical key over -members, forwards the
+// job API (SSE streams included), retries refused or dead members on the
+// next ring replica, and aggregates /v1/stats and /metrics cluster-wide.
+//
 // With -cache-dir the result cache gains a disk tier: completed results are
 // written through to the directory (one compressed file per canonical key)
 // and read back on memory misses, so a restarted ctsd answers resubmissions
@@ -44,6 +55,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -104,6 +116,70 @@ func requestLog(log *slog.Logger, next http.Handler) http.Handler {
 	})
 }
 
+// splitList splits a comma-separated flag value, dropping empty entries.
+func splitList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	var out []string
+	for _, e := range strings.Split(s, ",") {
+		if e = strings.TrimSpace(e); e != "" {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// runGateway serves the cluster gateway: the same job API, consistent-hashed
+// over the member set, with aggregated /v1/stats and /metrics.
+func runGateway(t *tech.Technology, lib *charlib.Library, addr, addrFile, members string, healthIvl time.Duration, log *slog.Logger) error {
+	list := splitList(members)
+	if len(list) == 0 {
+		return fmt.Errorf("-gateway requires -members (comma-separated member base URLs)")
+	}
+	gw, err := ctsserver.NewGateway(ctsserver.GatewayOptions{
+		Members:        list,
+		Tech:           t,
+		Library:        lib,
+		HealthInterval: healthIvl,
+		Logger:         log,
+	})
+	if err != nil {
+		return err
+	}
+	defer gw.Close()
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	log.Info("gateway listening", "addr", bound, "members", len(list))
+	if addrFile != "" {
+		if err := os.WriteFile(addrFile, []byte(bound), 0o644); err != nil {
+			return fmt.Errorf("writing -addr-file: %w", err)
+		}
+	}
+	httpSrv := &http.Server{Handler: requestLog(log, gw)}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Info("signal received, shutting gateway down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Warn("shutdown closed lingering connections", "error", err)
+	}
+	return nil
+}
+
 func run() error {
 	var (
 		addr         = flag.String("addr", ":8155", "listen address (host:port; port 0 picks a free one)")
@@ -123,6 +199,10 @@ func run() error {
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "how long a drain waits before canceling jobs")
 		logLevel     = flag.String("log-level", "info", "log floor: debug, info, warn, error")
 		pprofAddr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		gateway      = flag.Bool("gateway", false, "run as a cluster gateway: route jobs over -members instead of synthesizing")
+		members      = flag.String("members", "", "comma-separated member base URLs the gateway routes over (requires -gateway)")
+		peers        = flag.String("peers", "", "comma-separated sibling ctsd base URLs consulted on cache misses (cluster member mode)")
+		healthIvl    = flag.Duration("health-interval", time.Second, "gateway member health-probe period")
 	)
 	flag.Parse()
 
@@ -136,6 +216,13 @@ func run() error {
 	lib, err := charlib.Select(t, *analytic, *libPath)
 	if err != nil {
 		return err
+	}
+
+	if *gateway {
+		return runGateway(t, lib, *addr, *addrFile, *members, *healthIvl, log)
+	}
+	if *members != "" {
+		return fmt.Errorf("-members requires -gateway (members run with -peers)")
 	}
 
 	cacheBytes := *cacheMB << 20
@@ -167,10 +254,14 @@ func run() error {
 		Parallelism:           *par,
 		MaxSinks:              *maxSinks,
 		JobRetention:          *retention,
+		Peers:                 splitList(*peers),
 		Logger:                log,
 	})
 	if err != nil {
 		return err
+	}
+	if len(splitList(*peers)) > 0 {
+		log.Info("cluster member mode", "peers", *peers)
 	}
 	if *cacheDir != "" {
 		log.Info("persistent result cache enabled", "dir", *cacheDir)

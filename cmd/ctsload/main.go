@@ -212,8 +212,28 @@ func scrape(client *http.Client, addr string) (*obs.ParsedMetrics, error) {
 	return m, nil
 }
 
+// decodeStats decodes a /v1/stats body from either a member or a gateway.
+// A gateway body carries a "merged" field (ctsserver.ClusterStats); the
+// merged view's scheduler gauges sum the members', which is exactly what
+// queue draining needs.
+func decodeStats(body []byte) (ctsserver.Stats, error) {
+	var probe struct {
+		Merged *ctsserver.Stats `json:"merged"`
+	}
+	if err := json.Unmarshal(body, &probe); err == nil && probe.Merged != nil {
+		return *probe.Merged, nil
+	}
+	var st ctsserver.Stats
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("decoding /v1/stats: %w", err)
+	}
+	return st, nil
+}
+
 // drainQueue polls /v1/stats until no job is queued or running (or the wait
-// budget runs out), so the report covers completed work.
+// budget runs out), so the report covers completed work.  It understands
+// both stats shapes: a single ctsd's Stats, and a gateway's ClusterStats
+// (whose merged view sums the members' queues).
 func drainQueue(client *http.Client, cfg config) error {
 	deadline := time.Now().Add(cfg.wait)
 	for {
@@ -221,11 +241,14 @@ func drainQueue(client *http.Client, cfg config) error {
 		if err != nil {
 			return err
 		}
-		var st ctsserver.Stats
-		err = json.NewDecoder(resp.Body).Decode(&st)
+		body, err := io.ReadAll(resp.Body)
 		resp.Body.Close()
 		if err != nil {
-			return fmt.Errorf("decoding /v1/stats: %w", err)
+			return fmt.Errorf("reading /v1/stats: %w", err)
+		}
+		st, err := decodeStats(body)
+		if err != nil {
+			return err
 		}
 		if st.Scheduler.Queued == 0 && st.Scheduler.Running == 0 {
 			return nil

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// parseExpo parses a literal exposition, failing the test on error.
+func parseExpo(t *testing.T, text string) *ParsedMetrics {
+	t.Helper()
+	m, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatalf("parsing fixture: %v\n%s", err, text)
+	}
+	return m
+}
+
+const memberA = `# HELP ctsd_jobs_submitted_total Jobs admitted.
+# TYPE ctsd_jobs_submitted_total counter
+ctsd_jobs_submitted_total 3
+# HELP ctsd_queue_depth Jobs waiting.
+# TYPE ctsd_queue_depth gauge
+ctsd_queue_depth 2
+# HELP ctsd_job_e2e_seconds Admission-to-terminal latency.
+# TYPE ctsd_job_e2e_seconds histogram
+ctsd_job_e2e_seconds_bucket{priority="normal",le="0.1"} 1
+ctsd_job_e2e_seconds_bucket{priority="normal",le="1"} 3
+ctsd_job_e2e_seconds_bucket{priority="normal",le="+Inf"} 3
+ctsd_job_e2e_seconds_sum{priority="normal"} 0.9
+ctsd_job_e2e_seconds_count{priority="normal"} 3
+`
+
+const memberB = `# HELP ctsd_jobs_submitted_total Jobs admitted.
+# TYPE ctsd_jobs_submitted_total counter
+ctsd_jobs_submitted_total 5
+# HELP ctsd_job_e2e_seconds Admission-to-terminal latency.
+# TYPE ctsd_job_e2e_seconds histogram
+ctsd_job_e2e_seconds_bucket{priority="normal",le="0.1"} 4
+ctsd_job_e2e_seconds_bucket{priority="normal",le="1"} 4
+ctsd_job_e2e_seconds_bucket{priority="normal",le="+Inf"} 5
+ctsd_job_e2e_seconds_sum{priority="normal"} 7.25
+ctsd_job_e2e_seconds_count{priority="normal"} 5
+# HELP ctsd_gateway_only_total A family only this part carries.
+# TYPE ctsd_gateway_only_total counter
+ctsd_gateway_only_total{kind="x"} 1
+`
+
+func TestMergeParsedSums(t *testing.T) {
+	merged, err := MergeParsed(parseExpo(t, memberA), nil, parseExpo(t, memberB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := merged.Value("ctsd_jobs_submitted_total", nil); !ok || v != 8 {
+		t.Errorf("merged counter = %v (present %v), want 8", v, ok)
+	}
+	// A gauge present in only one part passes through unchanged.
+	if v, ok := merged.Value("ctsd_queue_depth", nil); !ok || v != 2 {
+		t.Errorf("single-part gauge = %v (present %v), want 2", v, ok)
+	}
+	if v, ok := merged.Value("ctsd_gateway_only_total", map[string]string{"kind": "x"}); !ok || v != 1 {
+		t.Errorf("late-part family = %v (present %v), want 1", v, ok)
+	}
+	// Histogram buckets sum per le; the merged series is exactly what one
+	// process observing all 8 jobs would have written.
+	h, ok := merged.Histogram("ctsd_job_e2e_seconds", map[string]string{"priority": "normal"})
+	if !ok {
+		t.Fatal("merged histogram missing")
+	}
+	if h.Count != 8 || h.Sum != 8.15 {
+		t.Errorf("merged histogram count/sum = %d/%v, want 8/8.15", h.Count, h.Sum)
+	}
+	// De-cumulated: le<=0.1 saw 5, 0.1<le<=1 saw 2, overflow saw 1.
+	want := []uint64{5, 2, 1}
+	for i, c := range h.Counts {
+		if c != want[i] {
+			t.Errorf("merged bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestMergeParsedFamilyOrder(t *testing.T) {
+	merged, err := MergeParsed(parseExpo(t, memberA), parseExpo(t, memberB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range merged.Families {
+		names = append(names, f.Name)
+	}
+	want := []string{"ctsd_jobs_submitted_total", "ctsd_queue_depth", "ctsd_job_e2e_seconds", "ctsd_gateway_only_total"}
+	if len(names) != len(want) {
+		t.Fatalf("family names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("family order = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestMergeParsedTypeConflict(t *testing.T) {
+	conflicting := parseExpo(t, `# HELP ctsd_queue_depth Jobs waiting.
+# TYPE ctsd_queue_depth counter
+ctsd_queue_depth 1
+`)
+	if _, err := MergeParsed(parseExpo(t, memberA), conflicting); err == nil {
+		t.Fatal("merging conflicting family types succeeded")
+	}
+}
+
+// TestWriteTextRoundTrip pins the gateway's /metrics invariant: a merged
+// exposition renders back into valid text that re-parses to the same values.
+func TestWriteTextRoundTrip(t *testing.T) {
+	merged, err := MergeParsed(parseExpo(t, memberA), parseExpo(t, memberB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := WriteText(&b, merged); err != nil {
+		t.Fatal(err)
+	}
+	again := parseExpo(t, b.String())
+	if v, ok := again.Value("ctsd_jobs_submitted_total", nil); !ok || v != 8 {
+		t.Errorf("round-tripped counter = %v (present %v), want 8", v, ok)
+	}
+	h, ok := again.Histogram("ctsd_job_e2e_seconds", map[string]string{"priority": "normal"})
+	if !ok || h.Count != 8 {
+		t.Fatalf("round-tripped histogram lost samples: present %v, count %d", ok, h.Count)
+	}
+	// Escaped label values survive a round trip too.
+	withEscapes := &ParsedMetrics{
+		byName: map[string]*ParsedFamily{},
+	}
+	fam := &ParsedFamily{Name: "odd_total", Help: `line one\ntwo "quoted"`, Type: "counter",
+		Samples: []Sample{{Name: "odd_total", Labels: map[string]string{"path": `a\b "c"` + "\n"}, Value: 1}}}
+	withEscapes.Families = append(withEscapes.Families, fam)
+	withEscapes.byName[fam.Name] = fam
+	b.Reset()
+	if err := WriteText(&b, withEscapes); err != nil {
+		t.Fatal(err)
+	}
+	again = parseExpo(t, b.String())
+	if v, ok := again.Value("odd_total", fam.Samples[0].Labels); !ok || v != 1 {
+		t.Errorf("escaped sample did not round-trip: %v (present %v)", v, ok)
+	}
+}

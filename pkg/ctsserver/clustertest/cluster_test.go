@@ -1,0 +1,431 @@
+package clustertest
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/charlib"
+	"repro/internal/obs"
+	"repro/internal/tech"
+	"repro/pkg/cts"
+	"repro/pkg/ctsserver"
+)
+
+// scaledRequest returns a deterministic scaled-r1 job request.
+func scaledRequest(t *testing.T, maxSinks int) ctsserver.JobRequest {
+	t.Helper()
+	bm, err := bench.SyntheticScaled("r1", maxSinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctsserver.JobRequest{Name: bm.Name, Sinks: ctsserver.SinksFromCTS(bm.Sinks)}
+}
+
+// waitTerminal polls a job through the given client until it is terminal.
+func waitTerminal(t *testing.T, cl *ctsserver.Client, id string) *ctsserver.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		st, err := cl.Job(context.Background(), id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not reach a terminal state", id)
+	return nil
+}
+
+// waitFor polls until the predicate holds.
+func waitFor(t *testing.T, what string, pred func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if pred() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// normalizedResult decodes result JSON and strips the wall-clock field, the
+// only nondeterministic part of a Result.
+func normalizedResult(t *testing.T, data []byte) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("decoding result %s: %v", data, err)
+	}
+	delete(m, "elapsedMs")
+	return m
+}
+
+// clusterStats fetches the gateway's ClusterStats (the Client's Stats method
+// decodes the single-node shape, so tests read the raw body).
+func clusterStats(t *testing.T, gatewayURL string) *ctsserver.ClusterStats {
+	t.Helper()
+	resp, err := http.Get(gatewayURL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var cs ctsserver.ClusterStats
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	return &cs
+}
+
+// synthesizer returns the member that ran flows (and fails unless exactly
+// one did).
+func synthesizer(t *testing.T, c *Cluster) *Member {
+	t.Helper()
+	var owner *Member
+	for _, m := range c.Members {
+		if m.Server.Metrics().Snapshot().FlowsStarted > 0 {
+			if owner != nil {
+				t.Fatal("more than one member ran synthesis")
+			}
+			owner = m
+		}
+	}
+	if owner == nil {
+		t.Fatal("no member ran synthesis")
+	}
+	return owner
+}
+
+// TestClusterBitIdentical submits one job through the gateway and asserts
+// the result is bit-identical (modulo wall clock) to the same request run on
+// a standalone single-node server.
+func TestClusterBitIdentical(t *testing.T) {
+	c := New(t, Options{})
+	ctx := context.Background()
+	req := scaledRequest(t, 48)
+
+	st, err := c.Client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.CacheHit {
+		t.Fatalf("first submission status: %+v", st)
+	}
+	final := waitTerminal(t, c.Client, st.ID)
+	if final.State != ctsserver.StateDone || len(final.Result) == 0 {
+		t.Fatalf("final status: %+v", final)
+	}
+	if final.ID != st.ID {
+		t.Fatalf("gateway leaked a member job id: submitted %s, got %s", st.ID, final.ID)
+	}
+
+	// Standalone reference run.
+	tc := tech.Default()
+	single, err := ctsserver.New(ctsserver.Options{Tech: tc, Library: charlib.NewAnalytic(tc), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(single)
+	defer ts.Close()
+	scl := ctsserver.NewClient(ts.URL)
+	sst, err := scl.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sfinal := waitTerminal(t, scl, sst.ID)
+	if sfinal.State != ctsserver.StateDone {
+		t.Fatalf("single-node run: %+v", sfinal)
+	}
+	if final.Key != sfinal.Key {
+		t.Fatalf("canonical keys diverge: gateway %s, single %s", final.Key, sfinal.Key)
+	}
+	got, want := normalizedResult(t, final.Result), normalizedResult(t, sfinal.Result)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("cluster result differs from single-node result")
+	}
+}
+
+// TestClusterSSEReplayThroughProxy asserts the gateway's SSE proxy preserves
+// the member's full-history replay: a late subscriber to a finished job
+// still receives every flow event and the terminal status, with the gateway
+// job id.
+func TestClusterSSEReplayThroughProxy(t *testing.T) {
+	c := New(t, Options{})
+	ctx := context.Background()
+
+	st, err := c.Client.Submit(ctx, scaledRequest(t, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, c.Client, st.ID)
+
+	// Late subscription: the job is already terminal, so the whole stream is
+	// a replay through the proxy hop.
+	var events []cts.WireEvent
+	final, err := c.Client.Stream(ctx, st.ID, func(we cts.WireEvent) { events = append(events, we) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != ctsserver.StateDone || len(final.Result) == 0 {
+		t.Fatalf("replayed final status: %+v", final)
+	}
+	if final.ID != st.ID {
+		t.Fatalf("replayed done event leaked a member id: want %s, got %s", st.ID, final.ID)
+	}
+	if len(events) == 0 {
+		t.Fatal("replay carried no flow events")
+	}
+	if events[0].Kind != "flow-start" || events[len(events)-1].Kind != "flow-end" {
+		t.Fatalf("replay order: first %q, last %q", events[0].Kind, events[len(events)-1].Kind)
+	}
+}
+
+// TestClusterPeerCacheHit submits through the gateway, then resubmits the
+// identical request directly to a member that did NOT run it, and asserts
+// the peer-cache read answers it: a cache hit, zero flows started anywhere.
+func TestClusterPeerCacheHit(t *testing.T) {
+	c := New(t, Options{})
+	ctx := context.Background()
+	req := scaledRequest(t, 32)
+
+	st, err := c.Client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, c.Client, st.ID)
+	owner := synthesizer(t, c)
+
+	var other *Member
+	for _, m := range c.Members {
+		if m != owner {
+			other = m
+			break
+		}
+	}
+	flowsBefore := 0
+	for _, m := range c.Members {
+		flowsBefore += m.Server.Metrics().Snapshot().FlowsStarted
+	}
+
+	// A different entry point: straight to a sibling, not via the gateway.
+	st2, err := other.Client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st2.CacheHit || st2.State != ctsserver.StateDone {
+		t.Fatalf("peer-backed resubmission was not a cache hit: %+v", st2)
+	}
+	if st2.Key != st.Key {
+		t.Fatalf("keys diverge across entry points: %s vs %s", st2.Key, st.Key)
+	}
+	flowsAfter := 0
+	for _, m := range c.Members {
+		flowsAfter += m.Server.Metrics().Snapshot().FlowsStarted
+	}
+	if flowsAfter != flowsBefore {
+		t.Fatalf("peer-served resubmission started %d new flows", flowsAfter-flowsBefore)
+	}
+	stats, err := other.Client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.PeerHits != 1 {
+		t.Fatalf("entry member's peer-hit counter = %d, want 1", stats.Cache.PeerHits)
+	}
+	got, want := normalizedResult(t, st2.Result), normalizedResult(t, waitTerminal(t, c.Client, st.ID).Result)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("peer-served result differs from the original")
+	}
+}
+
+// TestClusterFailoverMidJob kills the member a job was dispatched to and
+// asserts the gateway reroutes to the next ring replica: the client still
+// reaches a terminal done state and the gateway reports the reroute.
+func TestClusterFailoverMidJob(t *testing.T) {
+	c := New(t, Options{})
+	ctx := context.Background()
+
+	// A larger sink set, so the run is very likely still in flight when the
+	// member dies; the test stays correct either way (a finished-but-unseen
+	// result is simply re-synthesized on the replica).
+	st, err := c.Client.Submit(ctx, scaledRequest(t, 600))
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := c.MemberAt(c.Gateway.MemberFor(st.Key))
+	if owner == nil {
+		t.Fatalf("no member serves ring owner %q", c.Gateway.MemberFor(st.Key))
+	}
+	c.Kill(owner)
+
+	final := waitTerminal(t, c.Client, st.ID)
+	if final.State != ctsserver.StateDone || len(final.Result) == 0 {
+		t.Fatalf("post-failover status: %+v", final)
+	}
+	cs := clusterStats(t, c.GatewayURL)
+	if cs.Gateway.Rerouted == 0 {
+		t.Fatal("gateway reports no reroute after the owner died")
+	}
+	// The work moved to a live replica.
+	ran := 0
+	for _, m := range c.Alive() {
+		ran += m.Server.Metrics().Snapshot().FlowsStarted
+	}
+	if ran == 0 {
+		t.Fatal("no surviving member ran the failed-over job")
+	}
+}
+
+// TestClusterCachedKeyHolderDies synthesizes a key, kills the member holding
+// its cached result, and asserts a resubmission re-synthesizes cleanly on
+// another member with an identical result — a dead peer must degrade to a
+// miss, never to a poisoned entry.
+func TestClusterCachedKeyHolderDies(t *testing.T) {
+	c := New(t, Options{})
+	ctx := context.Background()
+	req := scaledRequest(t, 32)
+
+	st, err := c.Client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := waitTerminal(t, c.Client, st.ID)
+	if first.State != ctsserver.StateDone {
+		t.Fatalf("first run: %+v", first)
+	}
+	holder := synthesizer(t, c)
+	c.Kill(holder)
+
+	st2, err := c.Client.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second := waitTerminal(t, c.Client, st2.ID)
+	if second.State != ctsserver.StateDone || len(second.Result) == 0 {
+		t.Fatalf("re-synthesis after holder death: %+v", second)
+	}
+	if second.CacheHit {
+		t.Fatal("resubmission claims a cache hit though the only copy died")
+	}
+	got, want := normalizedResult(t, second.Result), normalizedResult(t, first.Result)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("re-synthesized result differs from the original")
+	}
+}
+
+// TestClusterStatsAggregation asserts the gateway's /v1/stats carries every
+// member, a merged counter view, and — after a kill — the degraded member.
+func TestClusterStatsAggregation(t *testing.T) {
+	c := New(t, Options{})
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		req := scaledRequest(t, 24+8*i)
+		st, err := c.Client.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		waitTerminal(t, c.Client, st.ID)
+	}
+
+	cs := clusterStats(t, c.GatewayURL)
+	if len(cs.Members) != 3 || cs.Gateway.Members != 3 {
+		t.Fatalf("member count: %d listed, %d configured", len(cs.Members), cs.Gateway.Members)
+	}
+	for _, m := range cs.Members {
+		if !m.Healthy || m.Stats == nil {
+			t.Fatalf("member %s unexpectedly degraded: %+v", m.URL, m)
+		}
+	}
+	if cs.Gateway.Submitted != 2 {
+		t.Fatalf("gateway submitted = %d, want 2", cs.Gateway.Submitted)
+	}
+	var sum int64
+	for _, m := range cs.Members {
+		sum += m.Stats.Scheduler.Submitted
+	}
+	if cs.Merged.Scheduler.Submitted != sum || sum != 2 {
+		t.Fatalf("merged submitted = %d, member sum = %d, want 2", cs.Merged.Scheduler.Submitted, sum)
+	}
+	if cs.Merged.Latency != nil {
+		t.Fatal("merged view must omit latency percentiles (they do not sum)")
+	}
+
+	c.Kill(c.Members[2])
+	waitFor(t, "degraded member in /v1/stats", func() bool {
+		cs := clusterStats(t, c.GatewayURL)
+		degraded := 0
+		for _, m := range cs.Members {
+			if !m.Healthy && m.Error != "" && m.Stats == nil {
+				degraded++
+			}
+		}
+		return degraded == 1 && cs.Gateway.Healthy == 2
+	})
+}
+
+// TestClusterMetricsMerged asserts the gateway's /metrics is a valid
+// exposition whose member counters are true cluster sums and whose own
+// gateway series report member health.
+func TestClusterMetricsMerged(t *testing.T) {
+	c := New(t, Options{})
+	ctx := context.Background()
+
+	st, err := c.Client.Submit(ctx, scaledRequest(t, 24))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, c.Client, st.ID)
+
+	m := scrapeGateway(t, c)
+	if v, ok := m.Value("ctsd_jobs_submitted_total", nil); !ok || v != 1 {
+		t.Fatalf("merged ctsd_jobs_submitted_total = %v (present %v), want 1", v, ok)
+	}
+	up := 0.0
+	for _, mem := range c.Members {
+		v, ok := m.Value("ctsd_gateway_member_up", map[string]string{"member": mem.URL})
+		if !ok {
+			t.Fatalf("no ctsd_gateway_member_up series for %s", mem.URL)
+		}
+		up += v
+	}
+	if up != 3 {
+		t.Fatalf("member_up sum = %v, want 3", up)
+	}
+	// Histogram buckets merge exactly: the e2e histogram saw exactly the
+	// one job, cluster-wide.
+	h, ok := m.Histogram("ctsd_job_e2e_seconds", map[string]string{"priority": "normal"})
+	if !ok {
+		t.Fatal("merged exposition lost the e2e histogram")
+	}
+	if h.Count != 1 {
+		t.Fatalf("merged e2e count = %d, want 1", h.Count)
+	}
+}
+
+// scrapeGateway fetches and strictly parses the gateway's /metrics.
+func scrapeGateway(t *testing.T, c *Cluster) *obs.ParsedMetrics {
+	t.Helper()
+	resp, err := http.Get(c.GatewayURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics answered %d", resp.StatusCode)
+	}
+	m, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("gateway exposition does not parse: %v", err)
+	}
+	return m
+}

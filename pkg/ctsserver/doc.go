@@ -207,4 +207,53 @@
 // to recompute anyway.  GET /v1/stats reports the tier under
 // cache.subtrees (SubtreeStats: occupancy, memoryHits/diskHits/misses,
 // evictions, and the disk store's own snapshot).
+//
+// # Cluster mode
+//
+// Several ctsd members can run behind a Gateway (ctsd -gateway
+// -members=...), which serves the same wire contract above — clients need
+// no changes — and routes each job by consistent-hashing its canonical
+// request key over the member set.  The gateway computes the key itself
+// (members must share tech and library, so keys agree), so every job for
+// the same design lands on the same member and its caches concentrate
+// instead of fragmenting.  The gateway mints its own job ids; the member's
+// ids never leak (statuses, traces and SSE done events are rewritten).
+//
+// Three response/request headers expose the routing:
+//
+//	X-Ctsd-Route-Key      (request, gateway→member) the canonical key routed on
+//	X-Ctsd-Route-Attempt  (request, gateway→member) 1-based dispatch attempt;
+//	                      2+ means the ring owner was skipped or refused
+//	X-Ctsd-Member         (response, gateway→client) the member that served
+//
+// Failover: a member that refuses (429/503/5xx) or cannot be reached is
+// skipped and the job is dispatched to the next member in the key's
+// deterministic replica order; a member that dies mid-job is detected on
+// the next poll or SSE read and the job is redispatched the same way
+// (terminal statuses are cached at the gateway, so a finished job is never
+// re-run).  Only when every member is down does the client see an error:
+// 503 with code "member-unreachable".  DELETE on a job whose member died
+// answers with a gateway-synthesized "canceled" status.  GET /v1/jobs/
+// {id}/trace does not fail over (the span tree lives on the member that
+// ran the job): it answers 503 "member-unreachable" until the member
+// returns.
+//
+// Members gossip nothing; instead each member can be given its siblings'
+// URLs (ctsd -peers=...), and on a local result-cache miss it consults
+// their caches (GET /v1/peer/result/{key}, one hop, never forwarded)
+// before synthesizing, re-caching any hit locally.  The subtree tier does
+// the same for incremental runs (GET /v1/peer/subtree/{key}).  This is
+// the lazy rebalance story: after membership changes move ~1/N of the key
+// space, moved keys miss once on their new owner, are fetched from the old
+// one's cache, and are local thereafter.  Peer hits are reported in
+// cache.peerHits and cache.subtrees.peerHits of GET /v1/stats.
+//
+// On a gateway, GET /v1/stats answers ClusterStats instead of Stats: the
+// gateway's own routing counters (gateway), every member's health and
+// Stats (members — a dead member has healthy false, an error and no
+// stats), and a merged view summing the members' counters (merged; its
+// per-priority latency block is omitted, since percentiles cannot be
+// summed — cluster-wide percentiles come from the gateway's GET /metrics,
+// which merges the members' histogram buckets exactly and re-exposes one
+// valid exposition, gateway ctsd_gateway_* series included).
 package ctsserver

@@ -1,0 +1,1111 @@
+package ctsserver
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"crypto/rand"
+	"repro/internal/charlib"
+	"repro/internal/obs"
+	"repro/internal/tech"
+	"repro/pkg/cts"
+)
+
+// Routing headers the gateway attaches.  The request headers let a member's
+// access log attribute forwarded work; the response header tells the client
+// which member actually served.
+const (
+	// HeaderRouteKey carries the canonical request key the gateway routed on.
+	HeaderRouteKey = "X-Ctsd-Route-Key"
+	// HeaderRouteAttempt is the 1-based dispatch attempt (2+ means the ring
+	// owner was skipped or refused and the job was rerouted to a replica).
+	HeaderRouteAttempt = "X-Ctsd-Route-Attempt"
+	// HeaderMember names the member base URL that served the request.
+	HeaderMember = "X-Ctsd-Member"
+)
+
+// defaultHealthInterval is the member health-probe period.  Probes are one
+// GET /healthz each, so even small intervals are cheap; 1s keeps the window
+// in which the gateway dispatches to a dead member (and eats one transport
+// error per submission) short.
+const defaultHealthInterval = time.Second
+
+// defaultGatewayTimeout bounds one forwarded non-streaming request.  Members
+// answer submissions asynchronously (202 + job id), so every forwarded call
+// is queue bookkeeping, not synthesis; anything slower is effectively down.
+const defaultGatewayTimeout = 15 * time.Second
+
+// gatewayEventAttempts bounds how many member streams one client SSE
+// subscription will chain through: the initial stream plus a reconnect per
+// failover.  A job reroutes at most once per member, so the member count
+// (plus slack) is the natural bound; beyond it the stream ends and the
+// client falls back to polling GET.
+const gatewayEventAttempts = 8
+
+// GatewayOptions configures a Gateway.
+type GatewayOptions struct {
+	// Members are the ctsd base URLs the gateway routes over; required,
+	// order-insensitive (the ring sorts them).
+	Members []string
+	// Tech and Library must match what the members run (the gateway computes
+	// the same canonical keys the members do, which assumes a homogeneous
+	// cluster); nil selects the same defaults Server does.
+	Tech *tech.Technology
+	// Library is the delay/slew library used for key computation; nil
+	// selects the analytic closed-form library for Tech.
+	Library *charlib.Library
+	// VirtualNodes is the per-member ring point count (<= 0 selects 200).
+	VirtualNodes int
+	// HealthInterval is the member probe period (<= 0 selects 1s).
+	HealthInterval time.Duration
+	// RequestTimeout bounds one forwarded non-streaming request (<= 0
+	// selects 15s).  Event streams are never subject to it.
+	RequestTimeout time.Duration
+	// JobRetention bounds how many jobs the gateway remembers (oldest
+	// forgotten beyond it; <= 0 selects 4096).
+	JobRetention int
+	// Logger receives structured routing logs; nil discards them.
+	Logger *slog.Logger
+}
+
+// Gateway is the cluster's entry point: an http.Handler exposing the same
+// job API as Server, consistent-hashing each request's canonical key over
+// the member ring and forwarding.  It holds no synthesis state of its own —
+// jobs run on members — but it remembers which member each job went to, so
+// GET/DELETE/events address the right node, and it caches terminal statuses
+// so a finished job survives its member's death.  See doc.go ("Cluster
+// mode") for the wire contract.
+type Gateway struct {
+	opts    GatewayOptions
+	ring    *ring
+	tech    *tech.Technology
+	library *charlib.Library
+	client  *http.Client // forwarded requests (bounded by RequestTimeout)
+	stream  *http.Client // SSE proxying (no timeout)
+	mux     *http.ServeMux
+	log     *slog.Logger
+	start   time.Time
+	reg     *obs.Registry
+
+	submitted atomic.Int64
+	rerouted  atomic.Int64
+
+	mu     sync.Mutex
+	health map[string]bool   // guarded by mu
+	jobs   map[string]*gwJob // guarded by mu
+	order  []string          // gateway job ids, oldest first // guarded by mu
+
+	idPrefix string
+	idCtr    atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// gwJob is the gateway's record of one forwarded job: where it lives, how to
+// resubmit it, and — once terminal — its frozen status.
+type gwJob struct {
+	id     string
+	key    string
+	baseID string // gateway-side base job id of an incremental request
+	body   []byte // member-bound request JSON, baseJob stripped (redispatch-safe)
+
+	mu       sync.Mutex
+	member   string     // current member base URL // guarded by mu
+	memberID string     // the member's own job id // guarded by mu
+	terminal *JobStatus // frozen terminal status, gateway ids // guarded by mu
+}
+
+// placement snapshots where the job currently runs.
+func (j *gwJob) placement() (member, memberID string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.member, j.memberID
+}
+
+// place records the member that accepted the job.
+func (j *gwJob) place(member, memberID string) {
+	j.mu.Lock()
+	j.member, j.memberID = member, memberID
+	j.mu.Unlock()
+}
+
+// terminalStatus returns the frozen terminal status, if any.
+func (j *gwJob) terminalStatus() *JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.terminal
+}
+
+// freeze records a terminal status exactly once (first writer wins, so a
+// status learned over GET and one learned over the event stream agree).
+func (j *gwJob) freeze(st *JobStatus) {
+	j.mu.Lock()
+	if j.terminal == nil && st.State.Terminal() {
+		j.terminal = st
+	}
+	j.mu.Unlock()
+}
+
+// NewGateway assembles a Gateway over the member set and starts its health
+// checker.  Close releases the checker.
+func NewGateway(o GatewayOptions) (*Gateway, error) {
+	if len(o.Members) == 0 {
+		return nil, fmt.Errorf("ctsserver: gateway needs at least one member")
+	}
+	if o.Tech == nil {
+		o.Tech = tech.Default()
+	}
+	if err := o.Tech.Validate(); err != nil {
+		return nil, err
+	}
+	if o.Library == nil {
+		o.Library = charlib.NewAnalytic(o.Tech)
+	}
+	if o.HealthInterval <= 0 {
+		o.HealthInterval = defaultHealthInterval
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = defaultGatewayTimeout
+	}
+	if o.JobRetention <= 0 {
+		o.JobRetention = 4096
+	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.DiscardHandler)
+	}
+	members := make([]string, 0, len(o.Members))
+	for _, m := range o.Members {
+		if m = strings.TrimRight(strings.TrimSpace(m), "/"); m != "" {
+			members = append(members, m)
+		}
+	}
+	r := newRing(members, o.VirtualNodes)
+	if len(r.members) == 0 {
+		return nil, fmt.Errorf("ctsserver: gateway needs at least one member")
+	}
+	var prefix [4]byte
+	if _, err := rand.Read(prefix[:]); err != nil {
+		return nil, fmt.Errorf("ctsserver: seeding gateway job ids: %w", err)
+	}
+	g := &Gateway{
+		opts:     o,
+		ring:     r,
+		tech:     o.Tech,
+		library:  o.Library,
+		client:   &http.Client{Timeout: o.RequestTimeout},
+		stream:   &http.Client{},
+		log:      o.Logger,
+		start:    time.Now(),
+		health:   make(map[string]bool, len(r.members)),
+		jobs:     map[string]*gwJob{},
+		idPrefix: hex.EncodeToString(prefix[:]),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	// Optimistic initial health: the first probe (or the first failed
+	// forward) corrects it, and pessimism would refuse every request between
+	// construction and the first probe.
+	g.mu.Lock()
+	for _, m := range r.members {
+		g.health[m] = true
+	}
+	g.mu.Unlock()
+	g.reg = newGatewayMetrics(g)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", g.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", g.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", g.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", g.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", g.handleTrace)
+	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /healthz", g.handleHealth)
+	g.mux = mux
+
+	go g.healthLoop()
+	return g, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.mux.ServeHTTP(w, r)
+}
+
+// Close stops the health checker.  Safe to call more than once.
+func (g *Gateway) Close() {
+	g.stopOnce.Do(func() { close(g.stop) })
+	<-g.done
+}
+
+// Members returns the sorted member identities of the ring.
+func (g *Gateway) Members() []string {
+	out := make([]string, len(g.ring.members))
+	copy(out, g.ring.members)
+	return out
+}
+
+// MemberFor returns the ring owner of a canonical key (testing and
+// operational introspection; dispatch may still reroute past it).
+func (g *Gateway) MemberFor(key string) string {
+	return g.ring.owner(key)
+}
+
+// newGatewayMetrics builds the gateway's own metric surface (merged with the
+// members' expositions by handleMetrics).
+func newGatewayMetrics(g *Gateway) *obs.Registry {
+	r := obs.NewRegistry()
+	r.NewGauge("ctsd_gateway_uptime_seconds", "Seconds since the gateway started.").
+		Func(func() float64 { return time.Since(g.start).Seconds() })
+	up := r.NewGauge("ctsd_gateway_member_up", "Per-member health (1 up, 0 down).", "member")
+	for _, m := range g.ring.members {
+		member := m
+		up.Func(func() float64 {
+			if g.isHealthy(member) {
+				return 1
+			}
+			return 0
+		}, member)
+	}
+	r.NewCounter("ctsd_gateway_jobs_submitted_total", "Jobs accepted at the gateway.").
+		Func(func() float64 { return float64(g.submitted.Load()) })
+	r.NewCounter("ctsd_gateway_jobs_rerouted_total",
+		"Dispatches that left the ring owner for a further replica.").
+		Func(func() float64 { return float64(g.rerouted.Load()) })
+	r.NewGauge("ctsd_gateway_jobs", "Jobs the gateway currently remembers.").
+		Func(func() float64 {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			return float64(len(g.jobs))
+		})
+	return r
+}
+
+// healthLoop probes every member each interval until Close.
+func (g *Gateway) healthLoop() {
+	defer close(g.done)
+	t := time.NewTicker(g.opts.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-g.stop:
+			return
+		case <-t.C:
+			g.probeMembers()
+		}
+	}
+}
+
+// probeMembers checks every member's /healthz concurrently and records the
+// verdicts.  A draining member answers 503 and is treated as down for new
+// dispatch (its running jobs still finish and stay addressable).
+func (g *Gateway) probeMembers() {
+	var wg sync.WaitGroup
+	verdicts := make([]bool, len(g.ring.members))
+	for i, m := range g.ring.members {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			resp, err := g.client.Get(m + "/healthz")
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			verdicts[i] = resp.StatusCode == http.StatusOK
+		}(i, m)
+	}
+	wg.Wait()
+	g.mu.Lock()
+	for i, m := range g.ring.members {
+		g.health[m] = verdicts[i]
+	}
+	g.mu.Unlock()
+}
+
+// isHealthy reports the member's last-known health.
+func (g *Gateway) isHealthy(member string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.health[member]
+}
+
+// markDown records a member observed dead at forward time, so subsequent
+// dispatches skip it until a probe revives it.
+func (g *Gateway) markDown(member string) {
+	g.mu.Lock()
+	g.health[member] = false
+	g.mu.Unlock()
+}
+
+// healthyCount counts members currently believed up.
+func (g *Gateway) healthyCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	n := 0
+	for _, up := range g.health {
+		if up {
+			n++
+		}
+	}
+	return n
+}
+
+// newGatewayJobID mints a gateway-unique job id (distinct namespace from
+// member ids, so a leaked member id can never collide).
+func (g *Gateway) newGatewayJobID() string {
+	return fmt.Sprintf("gwjob-%s-%d", g.idPrefix, g.idCtr.Add(1))
+}
+
+// register remembers a job, forgetting the oldest beyond retention.
+func (g *Gateway) register(j *gwJob) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.jobs[j.id] = j
+	g.order = append(g.order, j.id)
+	for len(g.order) > g.opts.JobRetention {
+		old := g.order[0]
+		g.order = g.order[1:]
+		delete(g.jobs, old)
+	}
+}
+
+// lookup resolves a gateway job id.
+func (g *Gateway) lookup(id string) (*gwJob, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	j, ok := g.jobs[id]
+	return j, ok
+}
+
+// requestKey computes the member-identical canonical key of a request: the
+// same effective-settings normalization Server.buildFlow applies, minus the
+// per-run plumbing (observer, parallelism, subtree cache — none of which
+// participate in the key).  This is where the homogeneous-cluster assumption
+// lives: gateway and members must agree on technology and library.
+func (g *Gateway) requestKey(req JobRequest, sinks []cts.Sink) (string, error) {
+	var set cts.Settings
+	if req.Settings != nil {
+		set = *req.Settings
+	}
+	flow, err := cts.New(g.tech,
+		cts.WithLibrary(g.library),
+		cts.WithSlewLimit(set.SlewLimit),
+		cts.WithSlewTarget(set.SlewTarget),
+		cts.WithCostWeights(set.Alpha, set.Beta),
+		cts.WithGrid(set.GridSize),
+		cts.WithCorrection(set.Correction),
+		cts.WithTopologyStrategy(set.Topology),
+		cts.WithRoutingStrategy(set.Routing),
+	)
+	if err != nil {
+		return "", err
+	}
+	key := cts.CanonicalKey(flow.Settings(), sinks)
+	if req.Verify {
+		key += "+verify"
+	}
+	return key, nil
+}
+
+// rewrite translates a member's JobStatus into the gateway's namespace.
+func (j *gwJob) rewrite(st *JobStatus) {
+	st.ID = j.id
+	st.BaseJob = j.baseID
+}
+
+// candidates builds the dispatch preference order for a job: an optional
+// affinity member first, then the key's ring replicas, healthy members only,
+// deduplicated.
+func (g *Gateway) candidates(key, preferred string) []string {
+	out := make([]string, 0, len(g.ring.members)+1)
+	seen := map[string]bool{}
+	add := func(m string) {
+		if m != "" && !seen[m] && g.isHealthy(m) {
+			seen[m] = true
+			out = append(out, m)
+		}
+	}
+	add(preferred)
+	for _, m := range g.ring.replicas(key) {
+		add(m)
+	}
+	return out
+}
+
+// forwardSubmit POSTs the job body to one member.  Outcomes:
+//
+//   - accepted (200/202): the job is placed, the member's status rewritten
+//     into the gateway namespace and returned with the member's HTTP code;
+//   - refused (429, 503, or any 5xx): nil status, nil error — the caller
+//     tries the next replica (the member is alive, just unwilling);
+//   - transport failure: same as refused, but the member is marked down;
+//   - any other 4xx: the member's error verbatim — rerouting cannot fix a
+//     bad request.
+func (g *Gateway) forwardSubmit(j *gwJob, body []byte, member string, attempt int) (*JobStatus, int, *APIError, bool) {
+	req, err := http.NewRequest(http.MethodPost, member+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, &APIError{HTTPStatus: http.StatusInternalServerError, Code: ErrBadRequest, Message: err.Error()}, false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(HeaderRouteKey, j.key)
+	req.Header.Set(HeaderRouteAttempt, fmt.Sprint(attempt))
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.markDown(member)
+		g.log.Warn("member unreachable", "member", member, "key", j.key, "error", err)
+		return nil, 0, nil, true
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if err != nil {
+		g.markDown(member)
+		return nil, 0, nil, true
+	}
+	switch {
+	case resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted:
+		var st JobStatus
+		if err := json.Unmarshal(data, &st); err != nil {
+			return nil, 0, &APIError{HTTPStatus: http.StatusBadGateway, Code: ErrMemberUnreachable,
+				Message: fmt.Sprintf("member %s: undecodable status: %v", member, err)}, false
+		}
+		j.place(member, st.ID)
+		j.rewrite(&st)
+		j.freeze(&st)
+		return &st, resp.StatusCode, nil, false
+	case resp.StatusCode == http.StatusTooManyRequests ||
+		resp.StatusCode == http.StatusServiceUnavailable ||
+		resp.StatusCode >= 500:
+		// Backpressure or drain: this member refuses, another may accept.
+		return nil, 0, nil, true
+	default:
+		var body errorBody
+		if err := json.Unmarshal(data, &body); err == nil && body.Error != nil {
+			body.Error.HTTPStatus = resp.StatusCode
+			return nil, 0, body.Error, false
+		}
+		return nil, 0, &APIError{HTTPStatus: resp.StatusCode, Code: ErrBadRequest,
+			Message: fmt.Sprintf("member %s answered %d", member, resp.StatusCode)}, false
+	}
+}
+
+// dispatch walks the job's candidate members until one accepts, counting a
+// reroute whenever the job lands anywhere but the first candidate.  It
+// returns the accepted status (gateway namespace) plus the member's HTTP
+// code, or the terminal APIError.
+func (g *Gateway) dispatch(j *gwJob, preferred string) (*JobStatus, int, *APIError) {
+	cands := g.candidates(j.key, preferred)
+	if len(cands) == 0 {
+		return nil, 0, &APIError{HTTPStatus: http.StatusServiceUnavailable, Code: ErrMemberUnreachable,
+			Message: "no healthy cluster member", RetryAfter: retryAfterSeconds}
+	}
+	for i, m := range cands {
+		st, code, apiErr, retry := g.forwardSubmit(j, j.body, m, i+1)
+		if st != nil {
+			if i > 0 {
+				g.rerouted.Add(1)
+				g.log.Info("job rerouted", "job", j.id, "key", j.key, "member", m, "attempt", i+1)
+			}
+			return st, code, nil
+		}
+		if !retry {
+			return nil, 0, apiErr
+		}
+	}
+	return nil, 0, &APIError{HTTPStatus: http.StatusServiceUnavailable, Code: ErrMemberUnreachable,
+		Message:    fmt.Sprintf("all %d candidate members refused or are unreachable", len(cands)),
+		RetryAfter: retryAfterSeconds}
+}
+
+// redispatch re-submits a job whose member died (or forgot it) to the next
+// live replica.  The terminal-status cache short-circuits it: a finished job
+// is never re-run.  It reports whether the job is addressable again.
+func (g *Gateway) redispatch(j *gwJob) bool {
+	if j.terminalStatus() != nil {
+		return true
+	}
+	st, _, apiErr := g.dispatch(j, "")
+	if apiErr != nil {
+		g.log.Warn("redispatch failed", "job", j.id, "key", j.key, "error", apiErr.Message)
+		return false
+	}
+	g.rerouted.Add(1)
+	g.log.Info("job redispatched", "job", j.id, "key", j.key, "state", string(st.State))
+	return true
+}
+
+// handleSubmit implements POST /v1/jobs on the gateway: validate enough to
+// compute the canonical key, pick the ring owner, forward, reroute on
+// refusal.  Incremental requests (baseJob) prefer the base's member — that
+// is where the subtree cache is warm — with the base id rewritten into the
+// member's namespace; when that member is gone the baseJob field is dropped
+// and the request ring-routes as a plain run (correct, just cold).
+func (g *Gateway) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, &APIError{HTTPStatus: http.StatusBadRequest, Code: ErrBadRequest,
+			Message: fmt.Sprintf("decoding request: %v", err)})
+		return
+	}
+	sinks := SinksToCTS(req.Sinks)
+	if err := cts.ValidateSinks(sinks); err != nil {
+		writeError(w, validationError(err))
+		return
+	}
+	key, err := g.requestKey(req, sinks)
+	if err != nil {
+		writeError(w, &APIError{HTTPStatus: http.StatusBadRequest, Code: ErrBadSetting, Message: err.Error()})
+		return
+	}
+
+	j := &gwJob{id: g.newGatewayJobID(), key: key}
+	preferred := ""
+	if req.BaseJob != "" {
+		base, ok := g.lookup(req.BaseJob)
+		if !ok {
+			writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrUnknownBase,
+				Message: fmt.Sprintf("unknown base job %q", req.BaseJob)})
+			return
+		}
+		j.baseID = req.BaseJob
+		member, memberID := base.placement()
+		if member != "" && g.isHealthy(member) {
+			// Affinity dispatch: same member, base id translated into its
+			// namespace.
+			preferred = member
+			req.BaseJob = memberID
+		} else {
+			// The base's member is gone and its id means nothing elsewhere;
+			// a plain run on the ring owner is the correct fallback.
+			req.BaseJob = ""
+		}
+	}
+	affinityBody, err := json.Marshal(req)
+	if err != nil {
+		writeError(w, &APIError{HTTPStatus: http.StatusInternalServerError, Code: ErrBadRequest, Message: err.Error()})
+		return
+	}
+	j.body = affinityBody
+	if preferred != "" {
+		// Redispatch after the affinity member dies must not carry its job
+		// id; keep the base-stripped body for that path.
+		plain := req
+		plain.BaseJob = ""
+		if j.body, err = json.Marshal(plain); err != nil {
+			writeError(w, &APIError{HTTPStatus: http.StatusInternalServerError, Code: ErrBadRequest, Message: err.Error()})
+			return
+		}
+	}
+	g.register(j)
+
+	var st *JobStatus
+	var code int
+	var apiErr *APIError
+	if preferred != "" {
+		st, code, apiErr, _ = g.forwardSubmit(j, affinityBody, preferred, 1)
+		if st == nil && apiErr == nil {
+			// Affinity member refused or died: ring-route the plain body.
+			st, code, apiErr = g.dispatch(j, "")
+		}
+	} else {
+		st, code, apiErr = g.dispatch(j, "")
+	}
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	g.submitted.Add(1)
+	member, _ := j.placement()
+	w.Header().Set(HeaderMember, member)
+	g.log.Info("job forwarded", "job", j.id, "key", j.key, "member", member, "state", string(st.State))
+	writeJSON(w, code, st)
+}
+
+// memberStatus fetches a job's status from its member.  A transport failure
+// or a member that forgot the job (404 after a restart) triggers a
+// redispatch; the caller re-reads afterwards.
+func (g *Gateway) memberStatus(j *gwJob) (*JobStatus, *APIError) {
+	if st := j.terminalStatus(); st != nil {
+		return st, nil
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		member, memberID := j.placement()
+		if member == "" {
+			break
+		}
+		resp, err := g.client.Get(member + "/v1/jobs/" + memberID)
+		if err != nil {
+			g.markDown(member)
+		} else {
+			data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK {
+				var st JobStatus
+				if err := json.Unmarshal(data, &st); err != nil {
+					return nil, &APIError{HTTPStatus: http.StatusBadGateway, Code: ErrMemberUnreachable,
+						Message: fmt.Sprintf("member %s: undecodable status: %v", member, err)}
+				}
+				j.rewrite(&st)
+				j.freeze(&st)
+				return &st, nil
+			}
+			// 404: the member restarted and forgot the job; anything else
+			// unexpected is treated the same — redispatch.
+		}
+		if !g.redispatch(j) {
+			return nil, &APIError{HTTPStatus: http.StatusServiceUnavailable, Code: ErrMemberUnreachable,
+				Message:    fmt.Sprintf("job %s lost with member %s and no replica accepted it", j.id, member),
+				RetryAfter: retryAfterSeconds}
+		}
+		if st := j.terminalStatus(); st != nil {
+			return st, nil
+		}
+	}
+	return nil, &APIError{HTTPStatus: http.StatusServiceUnavailable, Code: ErrMemberUnreachable,
+		Message: fmt.Sprintf("job %s is not reachable on any member", j.id), RetryAfter: retryAfterSeconds}
+}
+
+// handleGet implements GET /v1/jobs/{id} on the gateway.
+func (g *Gateway) handleGet(w http.ResponseWriter, r *http.Request) {
+	j, ok := g.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	st, apiErr := g.memberStatus(j)
+	if apiErr != nil {
+		writeError(w, apiErr)
+		return
+	}
+	member, _ := j.placement()
+	w.Header().Set(HeaderMember, member)
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleCancel implements DELETE /v1/jobs/{id} on the gateway.  When the
+// job's member is unreachable the cancel is honored locally: the job is
+// frozen as canceled at the gateway, so it will never be redispatched.
+func (g *Gateway) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := g.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	if st := j.terminalStatus(); st != nil {
+		writeJSON(w, http.StatusOK, st)
+		return
+	}
+	member, memberID := j.placement()
+	req, _ := http.NewRequest(http.MethodDelete, member+"/v1/jobs/"+memberID, nil)
+	resp, err := g.client.Do(req)
+	if err == nil {
+		data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+		resp.Body.Close()
+		if rerr == nil && resp.StatusCode == http.StatusOK {
+			var st JobStatus
+			if uerr := json.Unmarshal(data, &st); uerr == nil {
+				j.rewrite(&st)
+				j.freeze(&st)
+				w.Header().Set(HeaderMember, member)
+				writeJSON(w, http.StatusOK, &st)
+				return
+			}
+		}
+	} else {
+		g.markDown(member)
+	}
+	// The member is gone (or forgot the job): honor the cancel at the
+	// gateway so the job cannot come back through redispatch.
+	st := &JobStatus{
+		ID: j.id, State: StateCanceled, Priority: PriorityNormal, Key: j.key,
+		BaseJob: j.baseID,
+		Error:   fmt.Sprintf("member %s unreachable; canceled at gateway", member),
+	}
+	j.freeze(st)
+	writeJSON(w, http.StatusOK, j.terminalStatus())
+}
+
+// handleTrace implements GET /v1/jobs/{id}/trace on the gateway: the
+// member's trace with the job id translated.  Spans live only on the member,
+// so a dead member means a 503 — unlike the status, the trace has no
+// gateway-side copy to fall back to.
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := g.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	member, memberID := j.placement()
+	resp, err := g.client.Get(member + "/v1/jobs/" + memberID + "/trace")
+	if err != nil {
+		g.markDown(member)
+		writeError(w, &APIError{HTTPStatus: http.StatusServiceUnavailable, Code: ErrMemberUnreachable,
+			Message: fmt.Sprintf("member %s unreachable: %v", member, err), RetryAfter: retryAfterSeconds})
+		return
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if rerr != nil || resp.StatusCode != http.StatusOK {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: fmt.Sprintf("no trace for job %q on member %s", j.id, member)})
+		return
+	}
+	var tr JobTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		writeError(w, &APIError{HTTPStatus: http.StatusBadGateway, Code: ErrMemberUnreachable,
+			Message: fmt.Sprintf("member %s: undecodable trace: %v", member, err)})
+		return
+	}
+	tr.ID = j.id
+	w.Header().Set(HeaderMember, member)
+	writeJSON(w, http.StatusOK, tr)
+}
+
+// handleEvents implements GET /v1/jobs/{id}/events on the gateway: an SSE
+// proxy over the member's stream.  The member replays the job's full history
+// first (its own contract), so proxying preserves late-subscriber replay.
+// When the member dies mid-stream the job is redispatched and the stream
+// reconnects to the new member, replaying the new run from its beginning;
+// event ids are gateway-minted and strictly increasing across the splice.
+func (g *Gateway) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := g.lookup(r.PathValue("id"))
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: fmt.Sprintf("unknown job %q", r.PathValue("id"))})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusInternalServerError,
+			Code: ErrBadRequest, Message: "response writer does not support streaming"})
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	seq := 0
+	for attempt := 0; attempt < gatewayEventAttempts; attempt++ {
+		if r.Context().Err() != nil {
+			return
+		}
+		if st := j.terminalStatus(); st != nil && attempt > 0 {
+			// The member died after finishing but the gateway knows the
+			// terminal status: the flow history is gone with the member, the
+			// outcome is not.
+			g.emitDone(w, flusher, j, &seq, st)
+			return
+		}
+		member, memberID := j.placement()
+		req, err := http.NewRequestWithContext(r.Context(), http.MethodGet,
+			member+"/v1/jobs/"+memberID+"/events", nil)
+		if err != nil {
+			return
+		}
+		resp, err := g.stream.Do(req)
+		if err != nil || resp.StatusCode != http.StatusOK {
+			if err != nil {
+				g.markDown(member)
+			} else {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+			if !g.redispatch(j) {
+				return
+			}
+			continue
+		}
+		finished := g.pipeEvents(w, flusher, resp.Body, j, &seq)
+		resp.Body.Close()
+		if finished || r.Context().Err() != nil {
+			return
+		}
+		// Stream broke before the done event: the member died mid-job.
+		g.markDown(member)
+		if !g.redispatch(j) {
+			return
+		}
+	}
+}
+
+// emitDone writes one terminal SSE event from a gateway-cached status.
+func (g *Gateway) emitDone(w io.Writer, flusher http.Flusher, j *gwJob, seq *int, st *JobStatus) {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", *seq, EventTypeDone, data)
+	*seq++
+	flusher.Flush()
+}
+
+// pipeEvents copies one member SSE stream through, re-minting event ids and
+// translating the terminal status into the gateway namespace.  It reports
+// whether the stream reached its done event (false means the member died
+// mid-stream and the caller should fail over).
+func (g *Gateway) pipeEvents(w io.Writer, flusher http.Flusher, body io.Reader, j *gwJob, seq *int) bool {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxRequestBytes)
+	event, data := "", ""
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id:"):
+			// Member-side ids are per-member; the gateway mints its own so
+			// ids stay strictly increasing across a failover splice.
+		case strings.HasPrefix(line, "event:"):
+			event = strings.TrimSpace(strings.TrimPrefix(line, "event:"))
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "":
+			if event == "" && data == "" {
+				continue
+			}
+			if event == EventTypeDone {
+				var st JobStatus
+				if err := json.Unmarshal([]byte(data), &st); err == nil {
+					j.rewrite(&st)
+					j.freeze(&st)
+					if enc, err := json.Marshal(&st); err == nil {
+						data = string(enc)
+					}
+				}
+			}
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", *seq, event, data)
+			*seq++
+			flusher.Flush()
+			if event == EventTypeDone {
+				return true
+			}
+			event, data = "", ""
+		}
+	}
+	return false
+}
+
+// handleHealth implements GET /healthz on the gateway: ok while at least one
+// member is routable.
+func (g *Gateway) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if g.healthyCount() == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, Health{Status: "no healthy members", Draining: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, Health{Status: "ok"})
+}
+
+// memberStats polls one member's /v1/stats.
+func (g *Gateway) memberStats(member string) MemberStatus {
+	ms := MemberStatus{URL: member}
+	resp, err := g.client.Get(member + "/v1/stats")
+	if err != nil {
+		ms.Error = err.Error()
+		return ms
+	}
+	defer resp.Body.Close()
+	data, rerr := io.ReadAll(io.LimitReader(resp.Body, maxRequestBytes))
+	if rerr != nil || resp.StatusCode != http.StatusOK {
+		ms.Error = fmt.Sprintf("stats poll answered %d", resp.StatusCode)
+		return ms
+	}
+	var st Stats
+	if err := json.Unmarshal(data, &st); err != nil {
+		ms.Error = fmt.Sprintf("undecodable stats: %v", err)
+		return ms
+	}
+	ms.Healthy = true
+	ms.Stats = &st
+	return ms
+}
+
+// handleStats implements GET /v1/stats on the gateway: the per-member and
+// merged cluster view.  Members are polled live (concurrently), so the
+// response reflects reality, health-probe lag included — a member that died
+// a millisecond ago reports unhealthy here even if the last probe liked it.
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	members := make([]MemberStatus, len(g.ring.members))
+	var wg sync.WaitGroup
+	for i, m := range g.ring.members {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			members[i] = g.memberStats(m)
+		}(i, m)
+	}
+	wg.Wait()
+	healthy := 0
+	for _, m := range members {
+		if m.Healthy {
+			healthy++
+		}
+	}
+	g.mu.Lock()
+	jobs := len(g.jobs)
+	g.mu.Unlock()
+	writeJSON(w, http.StatusOK, ClusterStats{
+		Gateway: GatewayStats{
+			Members:       len(g.ring.members),
+			Healthy:       healthy,
+			Submitted:     g.submitted.Load(),
+			Rerouted:      g.rerouted.Load(),
+			Jobs:          jobs,
+			UptimeSeconds: time.Since(g.start).Seconds(),
+		},
+		Members: members,
+		Merged:  mergeMemberStats(members),
+	})
+}
+
+// mergeMemberStats sums the healthy members' stats into the cluster-wide
+// view.  Counters and occupancy gauges add; UptimeSeconds is the oldest
+// member's; Latency is omitted (percentiles do not sum — the gateway's
+// /metrics carries the exactly-merged histograms instead).
+func mergeMemberStats(members []MemberStatus) Stats {
+	var out Stats
+	out.Scheduler.QueuedByPriority = map[Priority]int{}
+	out.Metrics.Stages = map[string]cts.StageMetrics{}
+	for _, m := range members {
+		if !m.Healthy || m.Stats == nil {
+			continue
+		}
+		st := m.Stats
+		out.Scheduler.Workers += st.Scheduler.Workers
+		out.Scheduler.QueueDepth += st.Scheduler.QueueDepth
+		out.Scheduler.Queued += st.Scheduler.Queued
+		for p, n := range st.Scheduler.QueuedByPriority {
+			out.Scheduler.QueuedByPriority[p] += n
+		}
+		out.Scheduler.Running += st.Scheduler.Running
+		out.Scheduler.Submitted += st.Scheduler.Submitted
+		out.Scheduler.Completed += st.Scheduler.Completed
+		out.Scheduler.Failed += st.Scheduler.Failed
+		out.Scheduler.Canceled += st.Scheduler.Canceled
+		out.Scheduler.Expired += st.Scheduler.Expired
+		out.Scheduler.Rejected += st.Scheduler.Rejected
+		out.Scheduler.CacheHits += st.Scheduler.CacheHits
+		out.Scheduler.Draining = out.Scheduler.Draining || st.Scheduler.Draining
+		mergeCacheStats(&out.Cache, &st.Cache)
+		mergeMetricsSnapshots(&out.Metrics, &st.Metrics)
+		if st.UptimeSeconds > out.UptimeSeconds {
+			out.UptimeSeconds = st.UptimeSeconds
+		}
+		out.Goroutines += st.Goroutines
+	}
+	return out
+}
+
+// mergeCacheStats sums one member's cache counters into the cluster view
+// (the per-member Disk snapshots stay per-member; only the tier counters
+// merge).
+func mergeCacheStats(out, in *CacheStats) {
+	out.Entries += in.Entries
+	out.Bytes += in.Bytes
+	out.MaxBytes += in.MaxBytes
+	out.Hits += in.Hits
+	out.MemoryHits += in.MemoryHits
+	out.DiskHits += in.DiskHits
+	out.PeerHits += in.PeerHits
+	out.Misses += in.Misses
+	out.Evictions += in.Evictions
+	if in.Subtrees != nil {
+		if out.Subtrees == nil {
+			out.Subtrees = &SubtreeStats{}
+		}
+		out.Subtrees.Entries += in.Subtrees.Entries
+		out.Subtrees.Bytes += in.Subtrees.Bytes
+		out.Subtrees.MaxBytes += in.Subtrees.MaxBytes
+		out.Subtrees.MemoryHits += in.Subtrees.MemoryHits
+		out.Subtrees.DiskHits += in.Subtrees.DiskHits
+		out.Subtrees.PeerHits += in.Subtrees.PeerHits
+		out.Subtrees.Misses += in.Subtrees.Misses
+		out.Subtrees.Evictions += in.Subtrees.Evictions
+	}
+}
+
+// mergeMetricsSnapshots sums one member's synthesis metrics into the cluster
+// view.
+func mergeMetricsSnapshots(out, in *cts.MetricsSnapshot) {
+	out.FlowsStarted += in.FlowsStarted
+	out.FlowsDone += in.FlowsDone
+	out.FlowsFailed += in.FlowsFailed
+	out.Levels += in.Levels
+	out.Pairs += in.Pairs
+	out.Flips += in.Flips
+	out.Reused += in.Reused
+	for name, sm := range in.Stages {
+		agg := out.Stages[name]
+		if agg.Count == 0 || (sm.Count > 0 && sm.Min < agg.Min) {
+			agg.Min = sm.Min
+		}
+		if sm.Max > agg.Max {
+			agg.Max = sm.Max
+		}
+		agg.Count += sm.Count
+		agg.Total += sm.Total
+		for i := range sm.Buckets {
+			agg.Buckets[i] += sm.Buckets[i]
+		}
+		out.Stages[name] = agg
+	}
+}
+
+// handleMetrics implements GET /metrics on the gateway: the gateway's own
+// registry merged with every reachable member's exposition.  Counter and
+// gauge samples with identical name+labels sum across members, and
+// histogram buckets merge exactly (identical bounds, cumulative counts
+// add), so cluster-wide percentiles computed from this exposition are true
+// percentiles, not averages of averages.  Unreachable members are simply
+// absent from the sums.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var own bytes.Buffer
+	if err := g.reg.WritePrometheus(&own); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	parts := make([]*obs.ParsedMetrics, 1, len(g.ring.members)+1)
+	parsedOwn, err := obs.ParseText(&own)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	parts[0] = parsedOwn
+	for _, m := range g.ring.members {
+		resp, err := g.client.Get(m + "/metrics")
+		if err != nil {
+			g.markDown(m)
+			continue
+		}
+		p, perr := obs.ParseText(io.LimitReader(resp.Body, maxRequestBytes))
+		resp.Body.Close()
+		if perr != nil {
+			g.log.Warn("member exposition unparsable", "member", m, "error", perr)
+			continue
+		}
+		parts = append(parts, p)
+	}
+	merged, err := obs.MergeParsed(parts...)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	_ = obs.WriteText(w, merged)
+}

@@ -133,10 +133,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.baseJob = req.BaseJob
 		j.incremental = true
 	}
-	if data, ok := s.cache.get(key); ok {
-		// Cache hit (memory- or disk-served): the job is born terminal and
-		// no synthesis runs.  The hit is served even past the deadline — the
-		// result already exists, so expiring it would only withhold it.
+	data, hit := s.cache.get(key)
+	if !hit {
+		// Both local tiers missed: in cluster mode, ask the sibling members
+		// before synthesizing.  A peer hit is re-cached locally (lazy
+		// rebalance after membership changes) and served exactly like a
+		// local one.
+		data, hit = s.peerResult(key)
+	}
+	if hit {
+		// Cache hit (memory-, disk- or peer-served): the job is born
+		// terminal and no synthesis runs.  The hit is served even past the
+		// deadline — the result already exists, so expiring it would only
+		// withhold it.
 		s.register(j)
 		s.sched.submitted.Add(1)
 		s.finishJob(j, StateQueued, StateDone, true, data, "")
@@ -293,6 +302,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // handleStats implements GET /v1/stats.
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	cache := s.cache.stats()
+	cache.PeerHits = s.peers.resultHits.Load()
 	if s.subtrees != nil {
 		cache.Subtrees = s.subtrees.stats()
 	}

@@ -82,20 +82,22 @@ func newServerMetrics(s *Server) *serverMetrics {
 	misses := r.NewCounter("ctsd_cache_misses_total", "Result-cache lookup misses.", "tier")
 	hits.Func(func() float64 { mh, _, _, _ := s.cache.counters(); return float64(mh) }, "memory")
 	hits.Func(func() float64 { _, dh, _, _ := s.cache.counters(); return float64(dh) }, "disk")
+	hits.Func(func() float64 { return float64(s.peers.resultHits.Load()) }, "peer")
 	misses.Func(func() float64 { _, _, ms, _ := s.cache.counters(); return float64(ms) }, "result")
 	r.NewCounter("ctsd_cache_evictions_total", "Result-cache memory-tier LRU evictions.").
 		Func(func() float64 { _, _, _, ev := s.cache.counters(); return float64(ev) })
 	sh := r.NewCounter("ctsd_subtree_cache_hits_total", "Subtree-cache lookup hits per tier.", "tier")
 	sm := r.NewCounter("ctsd_subtree_cache_misses_total", "Subtree-cache lookup misses (merges recomputed).")
-	subtreeCounters := func() (int64, int64, int64) {
+	subtreeCounters := func() (int64, int64, int64, int64) {
 		if s.subtrees == nil {
-			return 0, 0, 0
+			return 0, 0, 0, 0
 		}
 		return s.subtrees.counters()
 	}
-	sh.Func(func() float64 { mh, _, _ := subtreeCounters(); return float64(mh) }, "memory")
-	sh.Func(func() float64 { _, dh, _ := subtreeCounters(); return float64(dh) }, "disk")
-	sm.Func(func() float64 { _, _, ms := subtreeCounters(); return float64(ms) })
+	sh.Func(func() float64 { mh, _, _, _ := subtreeCounters(); return float64(mh) }, "memory")
+	sh.Func(func() float64 { _, dh, _, _ := subtreeCounters(); return float64(dh) }, "disk")
+	sh.Func(func() float64 { _, _, ph, _ := subtreeCounters(); return float64(ph) }, "peer")
+	sm.Func(func() float64 { _, _, _, ms := subtreeCounters(); return float64(ms) })
 
 	// Synthesis aggregates from the shared observer sink, and the merge
 	// router's scratch-arena recycling (process-wide, like the pool).

@@ -1,0 +1,214 @@
+package ctsserver
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// peerDownCooldown is how long a peer that failed at the transport level is
+// skipped before lookups try it again.  Peer reads are a latency
+// optimization in front of synthesis, so a dead sibling must not tax every
+// local cache miss with a connect timeout; a few seconds of cooldown bounds
+// that tax while still noticing recovery quickly.
+const peerDownCooldown = 5 * time.Second
+
+// defaultPeerTimeout bounds one peer cache read.  Cached values are served
+// from memory or one disk read on the peer, so anything slower than this is
+// effectively down.
+const defaultPeerTimeout = 2 * time.Second
+
+// peerBodyLimit bounds a peer response body (a result JSON or one encoded
+// sub-tree); it mirrors the request-size bound of the public API.
+const peerBodyLimit = maxRequestBytes
+
+// peerSet is a member's view of its sibling ctsd instances, consulted on
+// local cache misses before synthesizing (the cluster's "any node can serve
+// any key" property, and the lazy-rebalance path after membership changes:
+// a key's new owner serves it from the old owner's cache until it is
+// re-cached locally).  The set is mutable — SetPeers may install or replace
+// it on a running server — and safe for concurrent use.
+type peerSet struct {
+	client *http.Client
+
+	mu        sync.Mutex
+	urls      []string             // guarded by mu
+	downUntil map[string]time.Time // guarded by mu
+
+	resultHits  atomic.Int64
+	subtreeHits atomic.Int64
+	misses      atomic.Int64
+}
+
+// newPeerSet builds a peer set over sibling base URLs; timeout <= 0 selects
+// the default.
+func newPeerSet(urls []string, timeout time.Duration) *peerSet {
+	if timeout <= 0 {
+		timeout = defaultPeerTimeout
+	}
+	p := &peerSet{
+		client:    &http.Client{Timeout: timeout},
+		downUntil: map[string]time.Time{},
+	}
+	p.set(urls)
+	return p
+}
+
+// set replaces the peer list.
+func (p *peerSet) set(urls []string) {
+	clean := make([]string, 0, len(urls))
+	for _, u := range urls {
+		if u = strings.TrimRight(strings.TrimSpace(u), "/"); u != "" {
+			clean = append(clean, u)
+		}
+	}
+	p.mu.Lock()
+	p.urls = clean
+	p.mu.Unlock()
+}
+
+// list snapshots the peers that are not in a failure cooldown.
+func (p *peerSet) list() []string {
+	now := time.Now()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.urls))
+	for _, u := range p.urls {
+		if now.After(p.downUntil[u]) {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// empty reports whether the set has no peers at all (cooldowns included);
+// callers use it to skip peer bookkeeping entirely on single-node servers.
+func (p *peerSet) empty() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.urls) == 0
+}
+
+// markDown starts a failure cooldown for one peer.
+func (p *peerSet) markDown(u string) {
+	p.mu.Lock()
+	p.downUntil[u] = time.Now().Add(peerDownCooldown)
+	p.mu.Unlock()
+}
+
+// fetch asks each available peer for the path in list order and returns the
+// first 200 body.  A 404 means the peer is alive but has no entry (keep
+// asking the others); a transport failure puts the peer in cooldown.
+func (p *peerSet) fetch(path string) ([]byte, bool) {
+	for _, u := range p.list() {
+		resp, err := p.client.Get(u + path)
+		if err != nil {
+			p.markDown(u)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			continue
+		}
+		data, err := io.ReadAll(io.LimitReader(resp.Body, peerBodyLimit))
+		resp.Body.Close()
+		if err != nil {
+			p.markDown(u)
+			continue
+		}
+		return data, true
+	}
+	return nil, false
+}
+
+// getResult looks a canonical result key up across the peers.
+func (p *peerSet) getResult(key string) ([]byte, bool) {
+	data, ok := p.fetch("/v1/peer/result/" + url.PathEscape(key))
+	if ok {
+		p.resultHits.Add(1)
+	} else {
+		p.misses.Add(1)
+	}
+	return data, ok
+}
+
+// getSubtree looks a subtree key up across the peers.
+func (p *peerSet) getSubtree(key string) ([]byte, bool) {
+	data, ok := p.fetch("/v1/peer/subtree/" + url.PathEscape(key))
+	if ok {
+		p.subtreeHits.Add(1)
+	} else {
+		p.misses.Add(1)
+	}
+	return data, ok
+}
+
+// SetPeers installs (or replaces) the sibling member base URLs this server
+// consults on local cache misses: a result-cache miss at submission asks
+// each peer's /v1/peer/result endpoint before synthesizing, and a subtree
+// miss on an incremental run asks /v1/peer/subtree before recomputing the
+// merge.  A peer hit is re-cached locally, which is the cluster's lazy
+// rebalance: after a membership change, a key's new owner serves it from the
+// old owner's cache once and locally ever after.  Safe to call on a running
+// server; an empty list disables peer lookups.
+func (s *Server) SetPeers(urls []string) {
+	s.peers.set(urls)
+}
+
+// peerResult consults the peers for a result-cache key after both local
+// tiers missed, re-caching a hit locally.
+func (s *Server) peerResult(key string) ([]byte, bool) {
+	if s.peers.empty() {
+		return nil, false
+	}
+	data, ok := s.peers.getResult(key)
+	if !ok {
+		return nil, false
+	}
+	s.cache.put(key, data)
+	s.log.Debug("peer cache hit", "key", key, "bytes", len(data))
+	return data, true
+}
+
+// handlePeerResult implements GET /v1/peer/result/{key}: the local result
+// cache only (memory + disk tiers, never this server's own peers — one hop,
+// no fan-out recursion).  200 with the raw result JSON, 404 on a miss.
+func (s *Server) handlePeerResult(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, ok := s.cache.get(key)
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: fmt.Sprintf("no cached result for key %q", key)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+// handlePeerSubtree implements GET /v1/peer/subtree/{key}: the local subtree
+// cache only.  200 with the encoded sub-tree bytes, 404 on a miss (or when
+// the server runs without a subtree tier).
+func (s *Server) handlePeerSubtree(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if s.subtrees == nil {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: "subtree cache disabled"})
+		return
+	}
+	data, ok := s.subtrees.getLocal(key)
+	if !ok {
+		writeError(w, &APIError{HTTPStatus: http.StatusNotFound, Code: ErrNotFound,
+			Message: fmt.Sprintf("no cached sub-tree for key %q", key)})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}

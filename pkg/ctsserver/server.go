@@ -77,6 +77,12 @@ type Options struct {
 	// VerifyTimeStep is the transient-simulation step in ps for jobs that
 	// request verification (<= 0 selects 1).
 	VerifyTimeStep float64
+	// Peers are sibling ctsd base URLs consulted on local cache misses
+	// before synthesizing (cluster mode; see SetPeers, which can also
+	// install them on a running server).  Empty disables peer lookups.
+	Peers []string
+	// PeerTimeout bounds one peer cache read (<= 0 selects 2s).
+	PeerTimeout time.Duration
 	// Logger receives structured lifecycle logs (one line per admission and
 	// per terminal transition, with job id, key, state and durations); nil
 	// discards them.
@@ -94,6 +100,7 @@ type Server struct {
 	sched    *scheduler
 	cache    *resultCache
 	subtrees *subtreeTier // nil when the subtree tier is disabled
+	peers    *peerSet     // sibling members for cross-node cache reads
 	metrics  *cts.MetricsObserver
 	obsm     *serverMetrics
 	log      *slog.Logger
@@ -164,6 +171,7 @@ func New(o Options) (*Server, error) {
 		}
 		disk = d
 	}
+	peers := newPeerSet(o.Peers, o.PeerTimeout)
 	var subtrees *subtreeTier
 	if o.SubtreeCacheBytes > 0 {
 		var sdisk *store.Store
@@ -174,7 +182,7 @@ func New(o Options) (*Server, error) {
 			}
 			sdisk = d
 		}
-		subtrees = newSubtreeTier(o.SubtreeCacheBytes, sdisk)
+		subtrees = newSubtreeTier(o.SubtreeCacheBytes, sdisk, peers)
 	}
 	s := &Server{
 		opts:     o,
@@ -182,6 +190,7 @@ func New(o Options) (*Server, error) {
 		library:  o.Library,
 		cache:    newResultCache(o.CacheBytes, disk),
 		subtrees: subtrees,
+		peers:    peers,
 		metrics:  cts.NewMetricsObserver(),
 		log:      o.Logger,
 		jobs:     map[string]*job{},
@@ -199,6 +208,10 @@ func New(o Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	// Peer cache reads (cluster mode): local tiers only, one hop, no
+	// recursion — see peer.go.
+	mux.HandleFunc("GET /v1/peer/result/{key}", s.handlePeerResult)
+	mux.HandleFunc("GET /v1/peer/subtree/{key}", s.handlePeerSubtree)
 	s.mux = mux
 	return s, nil
 }

@@ -26,20 +26,25 @@ const subtreeDiskMinBytes = 16 << 10
 type subtreeTier struct {
 	mem  *cts.MemorySubtreeCache
 	disk *store.Store // nil without a cache directory
+	// peers are the sibling members consulted after both local tiers miss
+	// (the cluster's cross-node sub-tree reuse); the set may be empty.
+	peers *peerSet
 
 	mu       sync.Mutex
 	memHits  int64 // guarded by mu
 	diskHits int64 // guarded by mu
+	peerHits int64 // guarded by mu
 	misses   int64 // guarded by mu
 }
 
-func newSubtreeTier(maxBytes int64, disk *store.Store) *subtreeTier {
-	return &subtreeTier{mem: cts.NewMemorySubtreeCache(maxBytes), disk: disk}
+func newSubtreeTier(maxBytes int64, disk *store.Store, peers *peerSet) *subtreeTier {
+	return &subtreeTier{mem: cts.NewMemorySubtreeCache(maxBytes), disk: disk, peers: peers}
 }
 
-// Get implements cts.SubtreeCache: memory first, then disk, promoting disk
-// hits into the memory tier.
-func (t *subtreeTier) Get(key string) ([]byte, bool) {
+// getLocal is the local-tier lookup shared by Get and the peer endpoint:
+// memory first, then disk, promoting disk hits into the memory tier.  It
+// never consults peers, so one peer read cannot fan out across the cluster.
+func (t *subtreeTier) getLocal(key string) ([]byte, bool) {
 	if v, ok := t.mem.Get(key); ok {
 		t.mu.Lock()
 		t.memHits++
@@ -51,6 +56,26 @@ func (t *subtreeTier) Get(key string) ([]byte, bool) {
 			t.mem.Put(key, v)
 			t.mu.Lock()
 			t.diskHits++
+			t.mu.Unlock()
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// Get implements cts.SubtreeCache: memory, then disk, then — on incremental
+// runs whose base ran on a sibling — the peers, promoting every hit into the
+// memory tier.  A corrupt peer value is harmless: the subtree codec is
+// checksummed, so it decodes as a miss and the merge recomputes.
+func (t *subtreeTier) Get(key string) ([]byte, bool) {
+	if v, ok := t.getLocal(key); ok {
+		return v, true
+	}
+	if t.peers != nil && !t.peers.empty() {
+		if v, ok := t.peers.getSubtree(key); ok {
+			t.mem.Put(key, v)
+			t.mu.Lock()
+			t.peerHits++
 			t.mu.Unlock()
 			return v, true
 		}
@@ -72,10 +97,10 @@ func (t *subtreeTier) Put(key string, value []byte) {
 
 // counters snapshots just the lookup counters (read per-series by the
 // /metrics scrape).
-func (t *subtreeTier) counters() (memHits, diskHits, misses int64) {
+func (t *subtreeTier) counters() (memHits, diskHits, peerHits, misses int64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return t.memHits, t.diskHits, t.misses
+	return t.memHits, t.diskHits, t.peerHits, t.misses
 }
 
 // stats snapshots the tier for GET /v1/stats.
@@ -88,6 +113,7 @@ func (t *subtreeTier) stats() *SubtreeStats {
 		MaxBytes:   ms.MaxBytes,
 		MemoryHits: t.memHits,
 		DiskHits:   t.diskHits,
+		PeerHits:   t.peerHits,
 		Misses:     t.misses,
 		Evictions:  ms.Evictions,
 	}

@@ -228,6 +228,11 @@ const (
 	// ErrIncrementalDisabled: the request set baseJob but the server runs
 	// without a subtree cache (SubtreeCacheBytes < 0).
 	ErrIncrementalDisabled = "incremental-disabled"
+	// ErrMemberUnreachable: the gateway exhausted every ring replica for the
+	// key without finding a member that would take (or still had) the job.
+	// The 503 response carries a Retry-After header — by the next attempt the
+	// health checker has usually found a live member.
+	ErrMemberUnreachable = "member-unreachable"
 )
 
 // retryAfterSeconds is the Retry-After hint on 429 queue-full responses: a
@@ -317,6 +322,10 @@ type CacheStats struct {
 	// DiskHits counts lookups the memory tier missed but the disk tier
 	// answered (each also promotes the entry back into memory).
 	DiskHits int64 `json:"diskHits"`
+	// PeerHits counts submissions both local tiers missed but a sibling
+	// member's cache answered (cluster mode only; each hit is re-cached
+	// locally).  Peer hits are not part of Hits, which stays local-only.
+	PeerHits int64 `json:"peerHits,omitempty"`
 	// Misses counts lookups neither tier could answer.
 	Misses int64 `json:"misses"`
 	// Evictions counts memory-tier LRU evictions.
@@ -343,6 +352,9 @@ type SubtreeStats struct {
 	MemoryHits int64 `json:"memoryHits"`
 	// DiskHits counts lookups answered by the disk tier (and promoted).
 	DiskHits int64 `json:"diskHits"`
+	// PeerHits counts lookups both local tiers missed but a sibling member
+	// answered (cluster mode, incremental runs only; promoted into memory).
+	PeerHits int64 `json:"peerHits,omitempty"`
 	// Misses counts lookups neither tier could answer (each one is a merge
 	// recomputed from scratch).
 	Misses int64 `json:"misses"`
@@ -421,6 +433,55 @@ type Health struct {
 	Status string `json:"status"` // "ok" or "draining"
 	// Draining mirrors Status for programmatic checks.
 	Draining bool `json:"draining"`
+}
+
+// GatewayStats summarizes the gateway's own routing work for the cluster
+// view of GET /v1/stats.
+type GatewayStats struct {
+	// Members is the configured member count; Healthy of them currently pass
+	// health checks (a degraded cluster reports Healthy < Members).
+	Members int `json:"members"`
+	// Healthy is the number of members currently passing health checks.
+	Healthy int `json:"healthy"`
+	// Submitted counts jobs accepted at the gateway.
+	Submitted int64 `json:"submitted"`
+	// Rerouted counts dispatches that left a key's ring owner for a further
+	// replica (the owner was down, refused, or dropped mid-job).
+	Rerouted int64 `json:"rerouted"`
+	// Jobs is the number of jobs the gateway currently remembers.
+	Jobs int `json:"jobs"`
+	// UptimeSeconds is the time since the gateway was assembled.
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+}
+
+// MemberStatus is one member's slice of the cluster view of GET /v1/stats.
+type MemberStatus struct {
+	// URL is the member's base URL (its ring identity).
+	URL string `json:"url"`
+	// Healthy reports whether the member answered the stats poll; a degraded
+	// member has Healthy false, an Error, and no Stats.
+	Healthy bool `json:"healthy"`
+	// Error describes why an unhealthy member could not be polled.
+	Error string `json:"error,omitempty"`
+	// Stats is the member's own GET /v1/stats body; nil when unhealthy.
+	Stats *Stats `json:"stats,omitempty"`
+}
+
+// ClusterStats is the body of GET /v1/stats on a gateway: the gateway's own
+// routing counters, each member's status and stats, and a merged view that
+// sums the members' counters.  Merged omits the per-priority Latency map —
+// percentiles cannot be summed from summaries; cluster-wide percentiles come
+// from the gateway's /metrics, where the members' histogram buckets merge
+// exactly.
+type ClusterStats struct {
+	// Gateway is the gateway's own routing summary.
+	Gateway GatewayStats `json:"gateway"`
+	// Members lists every configured member's status and stats.
+	Members []MemberStatus `json:"members"`
+	// Merged sums the healthy members' scheduler, cache and synthesis
+	// counters (occupancy gauges like queue depth sum too: the cluster-wide
+	// totals).
+	Merged Stats `json:"merged"`
 }
 
 // SSE event types on GET /v1/jobs/{id}/events.
